@@ -1,0 +1,176 @@
+package meerkat
+
+import (
+	"errors"
+
+	"meerkat/internal/coordinator"
+)
+
+// Client executes transactions against a Cluster. Each client embeds its own
+// Meerkat transaction coordinator (§4.1): it proposes timestamps from its
+// local clock and drives the commit protocol itself, so adding clients adds
+// no coordination anywhere.
+//
+// A Client is not safe for concurrent use; create one per goroutine.
+type Client struct {
+	coord *coordinator.Coordinator
+	id    uint64
+
+	committed uint64
+	aborted   uint64
+}
+
+// NewClient registers a new client with the cluster.
+func (c *Cluster) NewClient() (*Client, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("meerkat: cluster closed")
+	}
+	c.nextCli++
+	id := c.nextCli
+	c.mu.Unlock()
+
+	coord, err := coordinator.New(coordinator.Config{
+		Topo:            c.topo,
+		ClientID:        id,
+		Net:             c.net,
+		Clock:           c.clientClock(id),
+		Timeout:         c.cfg.CommitTimeout,
+		Retries:         c.cfg.Retries,
+		DisableFastPath: c.cfg.DisableFastPath,
+		Seed:            c.cfg.Seed + int64(id),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{coord: coord, id: id}, nil
+}
+
+// ID returns the client's unique id.
+func (cl *Client) ID() uint64 { return cl.id }
+
+// Stats reports how many of this client's transactions committed and how
+// many aborted in validation. (Clients are single-goroutine, so these are
+// plain counters.)
+func (cl *Client) Stats() (committed, aborted uint64) {
+	return cl.committed, cl.aborted
+}
+
+// Close releases the client's endpoints.
+func (cl *Client) Close() { cl.coord.Close() }
+
+// Txn is an in-progress interactive transaction. Reads see the latest
+// committed versions (plus the transaction's own writes); writes are
+// buffered client-side until Commit.
+type Txn struct {
+	inner *coordinator.Txn
+	cl    *Client
+}
+
+// Begin starts a transaction.
+func (cl *Client) Begin() *Txn {
+	return &Txn{inner: cl.coord.Begin(), cl: cl}
+}
+
+// Read returns the value of key within the transaction. A key that has
+// never been written reads as nil (and the absence is validated at commit:
+// if another transaction creates the key concurrently, this transaction
+// aborts).
+func (t *Txn) Read(key string) ([]byte, error) {
+	return t.inner.Read(key)
+}
+
+// Write buffers a write of key=value.
+func (t *Txn) Write(key string, value []byte) {
+	t.inner.Write(key, value)
+}
+
+// Commit runs Meerkat's validation and write phases. It returns true if the
+// transaction committed and false if optimistic validation failed because a
+// conflicting transaction won; in the latter case the caller usually retries.
+// A non-nil error means the outcome could not be determined within the retry
+// budget (e.g. no quorum was reachable).
+func (t *Txn) Commit() (bool, error) {
+	ok, err := t.inner.Commit()
+	if err == nil {
+		if ok {
+			t.cl.committed++
+		} else {
+			t.cl.aborted++
+		}
+	}
+	return ok, err
+}
+
+// ErrTxnAborted is returned by RunTxn when the transaction body asked to
+// abort.
+var ErrTxnAborted = errors.New("meerkat: transaction aborted by caller")
+
+// RunTxn executes fn inside a transaction and commits it, retrying
+// validation aborts up to maxAttempts times (0 means a single attempt).
+// It returns true once a run of fn commits. If fn returns an error the
+// transaction is abandoned and that error is returned.
+func (cl *Client) RunTxn(maxAttempts int, fn func(*Txn) error) (bool, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for i := 0; i < maxAttempts; i++ {
+		txn := cl.Begin()
+		if err := fn(txn); err != nil {
+			return false, err
+		}
+		committed, err := txn.Commit()
+		if err != nil {
+			return false, err
+		}
+		if committed {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Get is a convenience bare read: it returns the committed value of key as
+// seen by one replica. Because commit messages propagate asynchronously, a
+// bare read may briefly lag the latest commit. For a read that is guaranteed
+// serializable with respect to all committed transactions, use GetStrong or
+// read inside a transaction.
+func (cl *Client) Get(key string) ([]byte, error) {
+	val, _, _, err := cl.coord.Read(key)
+	return val, err
+}
+
+// GetStrong reads key inside a validated transaction, so the returned value
+// is serializable with respect to every committed transaction.
+func (cl *Client) GetStrong(key string) ([]byte, error) {
+	var val []byte
+	ok, err := cl.RunTxn(64, func(t *Txn) error {
+		v, err := t.Read(key)
+		val = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, errors.New("meerkat: strong read did not validate")
+	}
+	return val, nil
+}
+
+// Put is a convenience single-write transaction. It retries validation
+// aborts until the write commits or the retry budget is exhausted.
+func (cl *Client) Put(key string, value []byte) error {
+	ok, err := cl.RunTxn(16, func(t *Txn) error {
+		t.Write(key, value)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("meerkat: put did not commit")
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+// Command meerkat-bench regenerates the tables and figures of the Meerkat
+// paper's evaluation (§6).
+//
+// Each throughput figure has two sources:
+//
+//   - measured: the real implementation driven by closed-loop clients on
+//     this host (in-process transport). Contention effects (Figures 6 and
+//     7) reproduce directly; multicore scaling is limited by the host's
+//     core count.
+//   - simulated: the discrete-event multicore model (internal/sim), which
+//     provides the paper's 3x80-thread testbed in virtual time. The
+//     scaling figures (1, 4, 5) use it.
+//
+// Usage:
+//
+//	meerkat-bench -exp all             # everything
+//	meerkat-bench -exp fig4            # Figure 4 (simulated + measured)
+//	meerkat-bench -exp fig6a -measure 2s
+//	meerkat-bench -exp calibrate       # host-calibrated simulator params
+//	meerkat-bench -exp fig4 -calibrated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"meerkat/internal/bench"
+	"meerkat/internal/sim"
+)
+
+var (
+	exp        = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|calibrate|all")
+	measure    = flag.Duration("measure", 500*time.Millisecond, "measured window per real data point")
+	keys       = flag.Int("keys", 65536, "pre-loaded keys for real runs")
+	threadsCSV = flag.String("threads", "2,4,8,16,32,48,64,80", "simulated thread counts")
+	realCSV    = flag.String("real-threads", "1,2,4", "measured thread counts (bounded by host cores)")
+	zipfCSV    = flag.String("zipfs", "0,0.2,0.4,0.6,0.7,0.8,0.87,0.9,0.95,0.99", "zipf coefficients for figs 6/7")
+	simThreads = flag.Int("sim-threads", 64, "")
+	calibrated = flag.Bool("calibrated", false, "use host-calibrated simulator parameters instead of paper-anchored defaults")
+	skipReal   = flag.Bool("skip-real", false, "skip the measured (real implementation) runs")
+	skipSim    = flag.Bool("skip-sim", false, "skip the simulated runs")
+)
+
+func parseInts(csv string) []int {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad int %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func parseFloats(csv string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(csv, ",") {
+		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad float %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func main() {
+	flag.Parse()
+	out := os.Stdout
+
+	params := sim.DefaultParams()
+	if *calibrated {
+		fmt.Fprintln(out, "calibrating simulator parameters from this host's code ...")
+		params = sim.Calibrate()
+	}
+	opts := bench.Options{Measure: *measure, Keys: *keys}
+	simTh := parseInts(*threadsCSV)
+	realTh := parseInts(*realCSV)
+	zipfs := parseFloats(*zipfCSV)
+
+	run := func(name string, fn func() error) {
+		fmt.Fprintf(out, "\n==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("Table 1 (coordination matrix)", func() error {
+			bench.Table1(out)
+			return nil
+		})
+	}
+	if want("table2") {
+		run("Table 2 (Retwis mix, generated)", func() error {
+			bench.Table2(out, 500000)
+			return nil
+		})
+	}
+	if want("calibrate") && *exp == "calibrate" {
+		run("host calibration", func() error {
+			p := sim.Calibrate()
+			fmt.Fprintf(out, "%+v\n", p)
+			return nil
+		})
+	}
+	if want("fig1") {
+		if !*skipSim {
+			run("Figure 1 (simulated: paper testbed)", func() error {
+				sim.Fig1Sweep(out, params, simTh)
+				return nil
+			})
+		}
+		if !*skipReal {
+			run("Figure 1 (measured on this host)", func() error {
+				_, err := bench.Fig1Sweep(out, realTh, *measure)
+				return err
+			})
+		}
+	}
+	if want("fig4") {
+		if !*skipSim {
+			run("Figure 4 (simulated: YCSB-T uniform, 3 replicas)", func() error {
+				sim.ThreadSweep(out, params, "ycsb-t", simTh)
+				return nil
+			})
+		}
+		if !*skipReal {
+			run("Figure 4 (measured on this host)", func() error {
+				_, err := bench.ThreadSweep(out, "ycsb-t", realTh, opts)
+				return err
+			})
+		}
+	}
+	if want("fig5") {
+		if !*skipSim {
+			run("Figure 5 (simulated: Retwis uniform, 3 replicas)", func() error {
+				sim.ThreadSweep(out, params, "retwis", simTh)
+				return nil
+			})
+		}
+		if !*skipReal {
+			run("Figure 5 (measured on this host)", func() error {
+				_, err := bench.ThreadSweep(out, "retwis", realTh, opts)
+				return err
+			})
+		}
+	}
+	if want("fig6a") || want("fig7a") {
+		if !*skipSim {
+			run("Figures 6a/7a (simulated: YCSB-T vs zipf, 64 threads)", func() error {
+				sim.ZipfSweep(out, params, "ycsb-t", zipfs, *simThreads)
+				return nil
+			})
+		}
+		if !*skipReal {
+			run("Figures 6a/7a (measured: YCSB-T vs zipf)", func() error {
+				_, err := bench.ZipfSweep(out, "ycsb-t", zipfs, boundedThreads(), opts)
+				return err
+			})
+		}
+	}
+	if want("fig6b") || want("fig7b") {
+		if !*skipSim {
+			run("Figures 6b/7b (simulated: Retwis vs zipf, 64 threads)", func() error {
+				sim.ZipfSweep(out, params, "retwis", zipfs, *simThreads)
+				return nil
+			})
+		}
+		if !*skipReal {
+			run("Figures 6b/7b (measured: Retwis vs zipf)", func() error {
+				_, err := bench.ZipfSweep(out, "retwis", zipfs, boundedThreads(), opts)
+				return err
+			})
+		}
+	}
+	if want("latency") {
+		run("Unloaded commit latency (measured, §6.2 latency note)", func() error {
+			return bench.LatencySweep(out, 2000, *keys)
+		})
+	}
+	fmt.Fprintln(out)
+}
+
+// boundedThreads returns the server-thread count for the zipf sweeps: the
+// paper uses 64, but on a small host extra threads only add scheduler noise.
+func boundedThreads() int {
+	if *simThreads > 8 {
+		return 4
+	}
+	return *simThreads
+}

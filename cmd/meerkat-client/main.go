@@ -1,0 +1,149 @@
+// Command meerkat-client talks to a meerkat-server cluster over real UDP:
+// single gets/puts, read-modify-write transactions, or a small closed-loop
+// benchmark.
+//
+//	meerkat-client -op put -key hello -value world
+//	meerkat-client -op get -key hello
+//	meerkat-client -op incr -key counter
+//	meerkat-client -op bench -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+
+	"meerkat/internal/clock"
+	"meerkat/internal/coordinator"
+	"meerkat/internal/topo"
+	"meerkat/internal/transport"
+	"meerkat/internal/workload"
+)
+
+func main() {
+	var (
+		host       = flag.String("host", "127.0.0.1", "cluster address")
+		port       = flag.Int("port", 29000, "base UDP port of the address map")
+		replicas   = flag.Int("replicas", 3, "replicas per partition group")
+		partitions = flag.Int("partitions", 1, "number of partitions")
+		cores      = flag.Int("cores", 4, "server threads per replica")
+		clientID   = flag.Uint64("id", uint64(os.Getpid()), "unique client id")
+		op         = flag.String("op", "get", "operation: get|put|incr|bench")
+		key        = flag.String("key", "", "key")
+		value      = flag.String("value", "", "value (put)")
+		duration   = flag.Duration("duration", 3*time.Second, "bench duration")
+		benchKeys  = flag.Int("bench-keys", 1024, "bench keyspace (pre-load with meerkat-server -keys)")
+	)
+	flag.Parse()
+
+	t := topo.Topology{Partitions: *partitions, Replicas: *replicas, Cores: *cores}
+	coresPerNode := *cores
+	if coresPerNode < 2+*partitions {
+		coresPerNode = 2 + *partitions
+	}
+	net := transport.NewUDP(*host, *port, coresPerNode)
+	defer net.Close()
+
+	coord, err := coordinator.New(coordinator.Config{
+		Topo:     t,
+		ClientID: *clientID,
+		Net:      net,
+		Clock:    clock.NewReal(),
+		Timeout:  200 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer coord.Close()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch *op {
+	case "get":
+		val, ver, ok, err := coord.Read(*key)
+		if err != nil {
+			fail(err)
+		}
+		if !ok {
+			fmt.Printf("%s: (not found)\n", *key)
+			return
+		}
+		fmt.Printf("%s = %q (version %v)\n", *key, val, ver)
+
+	case "put":
+		txn := coord.Begin()
+		txn.Write(*key, []byte(*value))
+		committed, err := txn.Commit()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("put %s: committed=%v\n", *key, committed)
+
+	case "incr":
+		for attempt := 0; attempt < 32; attempt++ {
+			txn := coord.Begin()
+			cur, err := txn.Read(*key)
+			if err != nil {
+				fail(err)
+			}
+			n, _ := strconv.Atoi(string(cur))
+			txn.Write(*key, []byte(strconv.Itoa(n+1)))
+			committed, err := txn.Commit()
+			if err != nil {
+				fail(err)
+			}
+			if committed {
+				fmt.Printf("%s = %d\n", *key, n+1)
+				return
+			}
+		}
+		fail(fmt.Errorf("incr: retries exhausted (contention)"))
+
+	case "bench":
+		gen := workload.NewYCSBT(workload.NewUniform(*benchKeys))
+		rng := newRng(*clientID)
+		val := workload.Value(64)
+		var committed, aborted uint64
+		deadline := time.Now().Add(*duration)
+		for time.Now().Before(deadline) {
+			spec := gen.Next(rng)
+			txn := coord.Begin()
+			bad := false
+			for _, k := range spec.RMWs {
+				if _, err := txn.Read(k); err != nil {
+					bad = true
+					break
+				}
+				txn.Write(k, val)
+			}
+			if bad {
+				continue
+			}
+			ok, err := txn.Commit()
+			switch {
+			case err != nil:
+			case ok:
+				committed++
+			default:
+				aborted++
+			}
+		}
+		secs := duration.Seconds()
+		fmt.Printf("committed %d (%.0f txns/sec), aborted %d (%.1f%%)\n",
+			committed, float64(committed)/secs, aborted,
+			100*float64(aborted)/float64(committed+aborted+1))
+
+	default:
+		fail(fmt.Errorf("unknown op %q", *op))
+	}
+}
+
+// newRng seeds per-client randomness from the client id.
+func newRng(id uint64) *rand.Rand { return rand.New(rand.NewSource(int64(id) + 1)) }

@@ -1,0 +1,93 @@
+// Command meerkat-server runs one Meerkat replica over real UDP, so a
+// 3-replica cluster can be deployed as separate processes (or separate
+// machines sharing the same -host network).
+//
+// A minimal local cluster:
+//
+//	meerkat-server -index 0 &
+//	meerkat-server -index 1 &
+//	meerkat-server -index 2 &
+//	meerkat-client -op put -key hello -value world
+//	meerkat-client -op get -key hello
+//
+// All processes must agree on -host, -port, -replicas, -cores, and
+// -partitions (they define the address map).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"meerkat/internal/replica"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/topo"
+	"meerkat/internal/transport"
+	"meerkat/internal/vstore"
+	"meerkat/internal/workload"
+)
+
+func main() {
+	var (
+		host       = flag.String("host", "127.0.0.1", "bind address")
+		port       = flag.Int("port", 29000, "base UDP port for the address map")
+		partition  = flag.Int("partition", 0, "partition this replica serves")
+		index      = flag.Int("index", 0, "replica index within the partition group")
+		replicas   = flag.Int("replicas", 3, "replicas per partition group")
+		partitions = flag.Int("partitions", 1, "number of partitions")
+		cores      = flag.Int("cores", 4, "server threads")
+		keys       = flag.Int("keys", 0, "pre-load this many benchmark keys")
+		shared     = flag.Bool("shared-record", false, "use the TAPIR-like shared transaction record")
+	)
+	flag.Parse()
+
+	t := topo.Topology{Partitions: *partitions, Replicas: *replicas, Cores: *cores}
+	if !t.Validate() {
+		fmt.Fprintln(os.Stderr, "invalid topology (replicas must be odd, all counts >= 1)")
+		os.Exit(2)
+	}
+	coresPerNode := *cores
+	if coresPerNode < 2+*partitions {
+		coresPerNode = 2 + *partitions // client endpoints need port slots
+	}
+	net := transport.NewUDP(*host, *port, coresPerNode)
+	defer net.Close()
+
+	store := vstore.New(vstore.Config{})
+	if *keys > 0 {
+		val := workload.Value(64)
+		ts := timestamp.Timestamp{Time: 1, ClientID: 0}
+		for i := 0; i < *keys; i++ {
+			store.Load(workload.KeyName(i), val, ts)
+		}
+		fmt.Printf("loaded %d keys\n", *keys)
+	}
+
+	rep, err := replica.New(replica.Config{
+		Topo:         t,
+		Partition:    *partition,
+		Index:        *index,
+		Net:          net,
+		Store:        store,
+		SharedRecord: *shared,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rep.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer rep.Stop()
+
+	fmt.Printf("meerkat replica %d/%d of partition %d serving on %s:%d+ (%d cores)\n",
+		*index, *replicas, *partition, *host, *port, *cores)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}

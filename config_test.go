@@ -1,0 +1,100 @@
+package meerkat
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Replicas != 3 || cfg.Cores != 4 || cfg.Partitions != 1 {
+		t.Fatalf("defaults %+v", cfg)
+	}
+	if cfg.CommitTimeout != 100*time.Millisecond || cfg.Retries != 10 {
+		t.Fatalf("timeout defaults %+v", cfg)
+	}
+	if cfg.UDPHost != "127.0.0.1" || cfg.UDPBasePort != 29000 {
+		t.Fatalf("udp defaults %+v", cfg)
+	}
+}
+
+func TestUnknownTransportRejected(t *testing.T) {
+	if _, err := NewCluster(Config{Transport: TransportKind(42)}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
+func TestFiveReplicaCluster(t *testing.T) {
+	c := newTestCluster(t, Config{Replicas: 5, Cores: 1})
+	cl := newTestClient(t, c)
+	if err := cl.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.GetStrong("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("got %q, %v", v, err)
+	}
+}
+
+func TestSingleReplicaCluster(t *testing.T) {
+	// n=1, f=0: both quorums are 1; the system degenerates to a
+	// single-node store and must still work.
+	c := newTestCluster(t, Config{Replicas: 1, Cores: 2})
+	cl := newTestClient(t, c)
+	if err := cl.Put("k", []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.GetStrong("k")
+	if err != nil || string(v) != "solo" {
+		t.Fatalf("got %q, %v", v, err)
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	cl := newTestClient(t, c)
+	if err := cl.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	sent, delivered, _ := c.NetworkStats()
+	if sent == 0 || delivered == 0 {
+		t.Fatalf("stats sent=%d delivered=%d", sent, delivered)
+	}
+}
+
+func TestClientAfterClusterClose(t *testing.T) {
+	c, err := NewCluster(Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.NewClient(); err == nil {
+		t.Fatal("NewClient on closed cluster succeeded")
+	}
+	c.Close() // double close is safe
+}
+
+func TestRecoverNonCrashedReplicaRejected(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	if err := c.RecoverReplica(0, 1); err == nil {
+		t.Fatal("recovering a live replica succeeded")
+	}
+}
+
+func TestDropConfigStillCommits(t *testing.T) {
+	c := newTestCluster(t, Config{
+		DropProb:      0.05,
+		Seed:          5,
+		CommitTimeout: 20 * time.Millisecond,
+		Retries:       30,
+	})
+	cl := newTestClient(t, c)
+	for i := 0; i < 10; i++ {
+		if err := cl.Put("k", []byte("v")); err != nil {
+			t.Fatalf("put %d under loss: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package meerkat_test
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	"meerkat"
+)
+
+// Example shows the minimal lifecycle: cluster, client, one transaction.
+func Example() {
+	cluster, err := meerkat.NewCluster(meerkat.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	txn := client.Begin()
+	txn.Write("greeting", []byte("hello"))
+	committed, err := txn.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("committed:", committed)
+	// Output: committed: true
+}
+
+// ExampleClient_RunTxn shows the retry loop for optimistic conflicts: a
+// read-modify-write that keeps retrying until its validation wins.
+func ExampleClient_RunTxn() {
+	cluster, err := meerkat.NewCluster(meerkat.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Load("counter", []byte("41"))
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	ok, err := client.RunTxn(16, func(t *meerkat.Txn) error {
+		v, err := t.Read("counter")
+		if err != nil {
+			return err
+		}
+		n, _ := strconv.Atoi(string(v))
+		t.Write("counter", []byte(strconv.Itoa(n+1)))
+		return nil
+	})
+	if err != nil || !ok {
+		log.Fatal(ok, err)
+	}
+	v, err := client.GetStrong("counter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(v))
+	// Output: 42
+}
+
+// ExampleCluster_CrashReplica shows fault tolerance: with one of three
+// replicas down, transactions keep committing on the slow path.
+func ExampleCluster_CrashReplica() {
+	cluster, err := meerkat.NewCluster(meerkat.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	cluster.CrashReplica(0, 2)
+	if err := client.Put("k", []byte("still works")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := client.GetStrong("k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(v))
+	// Output: still works
+}

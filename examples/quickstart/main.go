@@ -1,0 +1,56 @@
+// Quickstart: start an in-process 3-replica Meerkat cluster, run a few
+// serializable transactions, and read the results back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meerkat"
+)
+
+func main() {
+	// A zero-value Config gives 3 replicas x 4 cores on the in-process
+	// kernel-bypass-class transport.
+	cluster, err := meerkat.NewCluster(meerkat.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// A blind write.
+	txn := client.Begin()
+	txn.Write("greeting", []byte("hello, meerkat"))
+	committed, err := txn.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("write committed: %v\n", committed)
+
+	// A read-modify-write with optimistic retry: Commit returns false when
+	// a conflicting transaction won, so retry until it sticks.
+	ok, err := client.RunTxn(16, func(t *meerkat.Txn) error {
+		v, err := t.Read("greeting")
+		if err != nil {
+			return err
+		}
+		t.Write("greeting", append(v, '!'))
+		return nil
+	})
+	if err != nil || !ok {
+		log.Fatalf("rmw: ok=%v err=%v", ok, err)
+	}
+
+	// A strong (transactionally validated) read.
+	v, err := client.GetStrong("greeting")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greeting = %q\n", v)
+}

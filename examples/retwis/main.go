@@ -1,0 +1,221 @@
+// Retwis: a miniature Twitter clone on Meerkat — the workload the paper's
+// evaluation models with Table 2. Users are created, follow each other,
+// post tweets, and load their timelines, all as interactive serializable
+// transactions over the replicated store.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"meerkat"
+)
+
+// Keys: user:<name> (profile), followers:<name> (comma list),
+// tweets:<name> (count), tweet:<name>:<n> (body), timeline:<name>.
+
+type app struct {
+	cl *meerkat.Client
+}
+
+// addUser creates a profile (1 get + writes, the "Add User" transaction).
+func (a *app) addUser(name string) error {
+	ok, err := a.cl.RunTxn(16, func(t *meerkat.Txn) error {
+		existing, err := t.Read("user:" + name)
+		if err != nil {
+			return err
+		}
+		if existing != nil {
+			return fmt.Errorf("user %s already exists", name)
+		}
+		t.Write("user:"+name, []byte(`{"name":"`+name+`"}`))
+		t.Write("followers:"+name, nil)
+		t.Write("tweets:"+name, []byte("0"))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("addUser %s: conflicts exhausted retries", name)
+	}
+	return nil
+}
+
+// follow adds follower to followee's follower list ("Follow/Unfollow").
+func (a *app) follow(follower, followee string) error {
+	ok, err := a.cl.RunTxn(16, func(t *meerkat.Txn) error {
+		lst, err := t.Read("followers:" + followee)
+		if err != nil {
+			return err
+		}
+		set := map[string]bool{}
+		for _, f := range strings.Split(string(lst), ",") {
+			if f != "" {
+				set[f] = true
+			}
+		}
+		if set[follower] {
+			delete(set, follower) // unfollow toggles
+		} else {
+			set[follower] = true
+		}
+		var out []string
+		for f := range set {
+			out = append(out, f)
+		}
+		t.Write("followers:"+followee, []byte(strings.Join(out, ",")))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("follow: retries exhausted")
+	}
+	return nil
+}
+
+// post publishes a tweet and fans it out to followers' timelines
+// ("Post Tweet": reads + several writes).
+func (a *app) post(user, text string) error {
+	ok, err := a.cl.RunTxn(16, func(t *meerkat.Txn) error {
+		cntRaw, err := t.Read("tweets:" + user)
+		if err != nil {
+			return err
+		}
+		cnt := 0
+		fmt.Sscanf(string(cntRaw), "%d", &cnt)
+		id := fmt.Sprintf("tweet:%s:%d", user, cnt)
+		body, _ := json.Marshal(map[string]string{"user": user, "text": text})
+		t.Write(id, body)
+		t.Write("tweets:"+user, []byte(fmt.Sprintf("%d", cnt+1)))
+
+		followersRaw, err := t.Read("followers:" + user)
+		if err != nil {
+			return err
+		}
+		for _, f := range strings.Split(string(followersRaw), ",") {
+			if f == "" {
+				continue
+			}
+			tl, err := t.Read("timeline:" + f)
+			if err != nil {
+				return err
+			}
+			entry := id
+			if len(tl) > 0 {
+				entry = string(tl) + "," + id
+			}
+			t.Write("timeline:"+f, []byte(entry))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("post: retries exhausted")
+	}
+	return nil
+}
+
+// timeline loads a user's timeline ("Load Timeline": 1–10 gets).
+func (a *app) timeline(user string) ([]string, error) {
+	var tweets []string
+	ok, err := a.cl.RunTxn(16, func(t *meerkat.Txn) error {
+		tweets = tweets[:0]
+		tl, err := t.Read("timeline:" + user)
+		if err != nil {
+			return err
+		}
+		ids := strings.Split(string(tl), ",")
+		if len(ids) > 10 {
+			ids = ids[len(ids)-10:] // newest ten
+		}
+		for _, id := range ids {
+			if id == "" {
+				continue
+			}
+			body, err := t.Read(id)
+			if err != nil {
+				return err
+			}
+			var tw map[string]string
+			if json.Unmarshal(body, &tw) == nil {
+				tweets = append(tweets, fmt.Sprintf("@%s: %s", tw["user"], tw["text"]))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("timeline: retries exhausted")
+	}
+	return tweets, nil
+}
+
+func main() {
+	cluster, err := meerkat.NewCluster(meerkat.Config{Cores: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	a := &app{cl: client}
+
+	users := []string{"ada", "grace", "barbara", "edsger"}
+	for _, u := range users {
+		if err := a.addUser(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Everyone follows ada; ada follows grace.
+	for _, u := range users[1:] {
+		if err := a.follow(u, "ada"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := a.follow("ada", "grace"); err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	lines := []string{
+		"the analytical engine weaves algebraic patterns",
+		"a bug is just a moth in the relay",
+		"COBOL will outlive us all",
+		"testing shows the presence, not the absence of bugs",
+	}
+	for i, u := range users {
+		if err := a.post(u, lines[i%len(lines)]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		u := users[rng.Intn(len(users))]
+		if err := a.post(u, fmt.Sprintf("hot take #%d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, u := range users {
+		tl, err := a.timeline(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline of %s (%d tweets):\n", u, len(tl))
+		for _, line := range tl {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module meerkat
+
+go 1.22

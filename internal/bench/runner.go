@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meerkat/internal/stats"
+	"meerkat/internal/workload"
+)
+
+// RunConfig describes one benchmark run: a system, a workload, and the
+// closed-loop client population.
+type RunConfig struct {
+	System System
+
+	// NewGenerator builds one workload generator per client goroutine.
+	NewGenerator func() workload.Generator
+
+	// Clients is the closed-loop client count. Defaults to 8.
+	Clients int
+	// Keys is the number of pre-loaded keys. Defaults to 65536.
+	Keys int
+	// ValueSize is the value payload size. Defaults to 64 (the paper's).
+	ValueSize int
+
+	// Warmup runs before measurement starts; Measure is the measured
+	// window. Defaults: 100ms / 500ms (the paper warms up for 5 minutes
+	// on real hardware; in-process runs stabilize in milliseconds).
+	Warmup  time.Duration
+	Measure time.Duration
+
+	// Seed makes client randomness reproducible.
+	Seed int64
+
+	// SkipLoad skips pre-loading (the caller already loaded the store).
+	SkipLoad bool
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	System   string
+	Clients  int
+	Counters stats.Counters
+	Latency  stats.Histogram
+	Elapsed  time.Duration
+}
+
+// Goodput returns committed transactions per second — the paper's
+// throughput metric ("more precisely, goodput", §6.2).
+func (r *Result) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Counters.Committed) / r.Elapsed.Seconds()
+}
+
+// AbortRate returns the abort fraction at this load (Figure 7's metric).
+func (r *Result) AbortRate() float64 { return r.Counters.AbortRate() }
+
+// phase values for the run state machine.
+const (
+	phaseWarmup int32 = iota
+	phaseMeasure
+	phaseDone
+)
+
+// Run loads the store, spawns the closed-loop clients, and measures.
+func Run(cfg RunConfig) (Result, error) {
+	if cfg.Clients == 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 65536
+	}
+	if cfg.ValueSize == 0 {
+		cfg.ValueSize = 64
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 100 * time.Millisecond
+	}
+	if cfg.Measure == 0 {
+		cfg.Measure = 500 * time.Millisecond
+	}
+
+	if !cfg.SkipLoad {
+		val := workload.Value(cfg.ValueSize)
+		for i := 0; i < cfg.Keys; i++ {
+			cfg.System.Load(workload.KeyName(i), val)
+		}
+	}
+
+	var phase atomic.Int32
+	type clientStats struct {
+		counters stats.Counters
+		hist     stats.Histogram
+	}
+	perClient := make([]clientStats, cfg.Clients)
+	clients := make([]Client, cfg.Clients)
+	for i := range clients {
+		cl, err := cfg.System.NewClient()
+		if err != nil {
+			return Result{}, err
+		}
+		clients[i] = cl
+	}
+
+	value := workload.Value(cfg.ValueSize)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := clients[i]
+			defer cl.Close()
+			gen := cfg.NewGenerator()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			cs := &perClient[i]
+			for {
+				ph := phase.Load()
+				if ph == phaseDone {
+					return
+				}
+				spec := gen.Next(rng)
+				start := time.Now()
+				committed, err := runSpec(cl, &spec, value)
+				if ph != phaseMeasure {
+					continue
+				}
+				switch {
+				case err != nil:
+					cs.counters.Errors++
+				case committed:
+					cs.counters.Committed++
+					cs.counters.Ops += uint64(spec.NumOps())
+					cs.hist.Record(time.Since(start))
+				default:
+					cs.counters.Aborted++
+					cs.counters.Ops += uint64(spec.NumOps())
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(cfg.Warmup)
+	phase.Store(phaseMeasure)
+	start := time.Now()
+	time.Sleep(cfg.Measure)
+	phase.Store(phaseDone)
+	elapsed := time.Since(start)
+	wg.Wait()
+
+	res := Result{System: cfg.System.Name(), Clients: cfg.Clients, Elapsed: elapsed}
+	for i := range perClient {
+		res.Counters.Merge(perClient[i].counters)
+		res.Latency.Merge(&perClient[i].hist)
+	}
+	return res, nil
+}
+
+// runSpec executes one generated transaction: reads, read-modify-writes,
+// then blind writes, and commits.
+func runSpec(cl Client, spec *workload.TxnSpec, value []byte) (bool, error) {
+	txn := cl.Begin()
+	for _, k := range spec.Reads {
+		if _, err := txn.Read(k); err != nil {
+			return false, err
+		}
+	}
+	for _, k := range spec.RMWs {
+		if _, err := txn.Read(k); err != nil {
+			return false, err
+		}
+		txn.Write(k, value)
+	}
+	for _, k := range spec.Writes {
+		txn.Write(k, value)
+	}
+	return txn.Commit()
+}

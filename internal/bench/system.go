@@ -1,0 +1,209 @@
+// Package bench is the benchmark harness behind the paper's evaluation
+// (§6): it assembles the four prototype systems of Table 1 behind one
+// client interface, drives them with closed-loop clients running the YCSB-T
+// and Retwis workloads, and reports goodput and abort rates.
+//
+//	System      cross-core coordination   cross-replica coordination
+//	KuaFu++     yes (counter+log+record)  yes (primary-backup)
+//	TAPIR       yes (shared record)       no
+//	Meerkat-PB  no                        yes (primary-backup)
+//	Meerkat     no                        no
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"meerkat"
+	"meerkat/internal/clock"
+	"meerkat/internal/kuafu"
+	"meerkat/internal/meerkatpb"
+	"meerkat/internal/pbclient"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/topo"
+	"meerkat/internal/transport"
+	"meerkat/internal/vstore"
+)
+
+// Txn is the common transaction surface the harness drives.
+type Txn interface {
+	Read(key string) ([]byte, error)
+	Write(key string, value []byte)
+	Commit() (bool, error)
+}
+
+// Client issues transactions; one per closed-loop client goroutine.
+type Client interface {
+	Begin() Txn
+	Close()
+}
+
+// System is one of the four evaluation prototypes.
+type System interface {
+	Name() string
+	NewClient() (Client, error)
+	Load(key string, value []byte)
+	Close()
+}
+
+// SystemKind names the four prototypes.
+type SystemKind string
+
+// The four systems of Table 1.
+const (
+	SystemMeerkat   SystemKind = "meerkat"
+	SystemMeerkatPB SystemKind = "meerkat-pb"
+	SystemTAPIR     SystemKind = "tapir"
+	SystemKuaFu     SystemKind = "kuafu++"
+)
+
+// AllSystems lists the four prototypes in the paper's presentation order.
+var AllSystems = []SystemKind{SystemMeerkat, SystemMeerkatPB, SystemTAPIR, SystemKuaFu}
+
+// SystemConfig sizes a system under test.
+type SystemConfig struct {
+	Kind     SystemKind
+	Replicas int // default 3
+	Cores    int // server threads per replica
+	Timeout  time.Duration
+	Retries  int
+}
+
+// NewSystem builds and starts the requested system on an in-process
+// network.
+func NewSystem(cfg SystemConfig) (System, error) {
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 200 * time.Millisecond
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 20
+	}
+	switch cfg.Kind {
+	case SystemMeerkat, SystemTAPIR:
+		cl, err := meerkat.NewCluster(meerkat.Config{
+			Replicas:      cfg.Replicas,
+			Cores:         cfg.Cores,
+			SharedTRecord: cfg.Kind == SystemTAPIR,
+			CommitTimeout: cfg.Timeout,
+			Retries:       cfg.Retries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &meerkatSystem{kind: cfg.Kind, cluster: cl}, nil
+	case SystemMeerkatPB, SystemKuaFu:
+		return newPBSystem(cfg)
+	default:
+		return nil, fmt.Errorf("bench: unknown system %q", cfg.Kind)
+	}
+}
+
+// meerkatSystem adapts the public meerkat API (which also serves as the
+// TAPIR-like baseline via SharedTRecord).
+type meerkatSystem struct {
+	kind    SystemKind
+	cluster *meerkat.Cluster
+}
+
+func (s *meerkatSystem) Name() string { return string(s.kind) }
+
+func (s *meerkatSystem) Load(key string, value []byte) { s.cluster.Load(key, value) }
+
+func (s *meerkatSystem) Close() { s.cluster.Close() }
+
+func (s *meerkatSystem) NewClient() (Client, error) {
+	cl, err := s.cluster.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &meerkatClient{cl}, nil
+}
+
+type meerkatClient struct{ cl *meerkat.Client }
+
+func (c *meerkatClient) Begin() Txn { return c.cl.Begin() }
+func (c *meerkatClient) Close()     { c.cl.Close() }
+
+// pbSystem hosts the KuaFu++ and Meerkat-PB replica groups.
+type pbSystem struct {
+	cfg    SystemConfig
+	topo   topo.Topology
+	net    *transport.Inproc
+	stores []*vstore.Store
+	stop   []func()
+	nextID uint64
+}
+
+func newPBSystem(cfg SystemConfig) (System, error) {
+	tp := topo.Topology{Partitions: 1, Replicas: cfg.Replicas, Cores: cfg.Cores}
+	s := &pbSystem{cfg: cfg, topo: tp, net: transport.NewInproc(transport.InprocConfig{})}
+	for i := 0; i < cfg.Replicas; i++ {
+		switch cfg.Kind {
+		case SystemKuaFu:
+			rep, err := kuafu.New(kuafu.Config{Topo: tp, Index: i, Net: s.net})
+			if err != nil {
+				return nil, err
+			}
+			if err := rep.Start(); err != nil {
+				return nil, err
+			}
+			s.stores = append(s.stores, rep.Store())
+			s.stop = append(s.stop, rep.Stop)
+		case SystemMeerkatPB:
+			rep, err := meerkatpb.New(meerkatpb.Config{Topo: tp, Index: i, Net: s.net})
+			if err != nil {
+				return nil, err
+			}
+			if err := rep.Start(); err != nil {
+				return nil, err
+			}
+			s.stores = append(s.stores, rep.Store())
+			s.stop = append(s.stop, rep.Stop)
+		}
+	}
+	return s, nil
+}
+
+func (s *pbSystem) Name() string { return string(s.cfg.Kind) }
+
+func (s *pbSystem) Load(key string, value []byte) {
+	ts := timestamp.Timestamp{Time: 1, ClientID: 0}
+	for _, st := range s.stores {
+		st.Load(key, value, ts)
+	}
+}
+
+func (s *pbSystem) Close() {
+	for _, stop := range s.stop {
+		stop()
+	}
+	s.net.Close()
+}
+
+func (s *pbSystem) NewClient() (Client, error) {
+	s.nextID++
+	cl, err := pbclient.New(pbclient.Config{
+		Topo:             s.topo,
+		ClientID:         s.nextID,
+		Net:              s.net,
+		Clock:            clock.NewReal(),
+		ClientTimestamps: s.cfg.Kind == SystemMeerkatPB,
+		Timeout:          s.cfg.Timeout,
+		Retries:          s.cfg.Retries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &pbClientAdapter{cl}, nil
+}
+
+type pbClientAdapter struct{ cl *pbclient.Client }
+
+func (c *pbClientAdapter) Begin() Txn { return c.cl.Begin() }
+func (c *pbClientAdapter) Close()     { c.cl.Close() }

@@ -1,0 +1,120 @@
+// Package checker verifies one-copy serializability of committed transaction
+// histories.
+//
+// Meerkat serializes committed transactions in timestamp order (§5.4), which
+// makes checking cheap: replay the committed transactions sorted by their
+// commit timestamps against an ideal single-copy store, and require that
+// every read observed exactly the version the replay produces. Any lost
+// update, dirty read, write skew, or fractured multi-partition transaction
+// shows up as a version mismatch.
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
+)
+
+// CommittedTxn is one committed transaction as observed by its coordinator.
+type CommittedTxn struct {
+	ID       timestamp.TxnID
+	TS       timestamp.Timestamp
+	ReadSet  []message.ReadSetEntry
+	WriteSet []message.WriteSetEntry
+}
+
+// History accumulates committed transactions from any number of client
+// goroutines.
+type History struct {
+	mu   sync.Mutex
+	txns []CommittedTxn
+}
+
+// New returns an empty history.
+func New() *History { return &History{} }
+
+// Add records a committed transaction. Safe for concurrent use.
+func (h *History) Add(t CommittedTxn) {
+	h.mu.Lock()
+	h.txns = append(h.txns, t)
+	h.mu.Unlock()
+}
+
+// Len returns the number of recorded transactions.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.txns)
+}
+
+// Violation describes one serializability violation found by Check.
+type Violation struct {
+	Txn       timestamp.TxnID
+	TS        timestamp.Timestamp
+	Key       string
+	ReadWTS   timestamp.Timestamp // version the transaction claims it read
+	SerialWTS timestamp.Timestamp // version serial replay says it must have read
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("txn %v@%v read %q@%v but timestamp-order replay gives @%v",
+		v.Txn, v.TS, v.Key, v.ReadWTS, v.SerialWTS)
+}
+
+// Check replays the history in timestamp order and returns every violation
+// found (nil means the history is one-copy serializable in timestamp order).
+// initial maps preloaded keys to the timestamp they were loaded at.
+func (h *History) Check(initial map[string]timestamp.Timestamp) []Violation {
+	h.mu.Lock()
+	txns := make([]CommittedTxn, len(h.txns))
+	copy(txns, h.txns)
+	h.mu.Unlock()
+
+	sort.Slice(txns, func(i, j int) bool { return txns[i].TS.Less(txns[j].TS) })
+
+	state := make(map[string]timestamp.Timestamp, len(initial))
+	for k, ts := range initial {
+		state[k] = ts
+	}
+
+	var out []Violation
+	for _, t := range txns {
+		for _, r := range t.ReadSet {
+			if got := state[r.Key]; got != r.WTS {
+				out = append(out, Violation{
+					Txn: t.ID, TS: t.TS, Key: r.Key,
+					ReadWTS: r.WTS, SerialWTS: got,
+				})
+			}
+		}
+		for _, w := range t.WriteSet {
+			// The Thomas write rule can leave an older committed write
+			// invisible; replay applies the same rule.
+			if state[w.Key].Less(t.TS) {
+				state[w.Key] = t.TS
+			}
+		}
+	}
+	return out
+}
+
+// CheckUniqueTimestamps verifies that no two committed transactions share a
+// serialization timestamp — a prerequisite for the timestamp order to be a
+// total order.
+func (h *History) CheckUniqueTimestamps() []timestamp.Timestamp {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seen := make(map[timestamp.Timestamp]bool, len(h.txns))
+	var dups []timestamp.Timestamp
+	for _, t := range h.txns {
+		if seen[t.TS] {
+			dups = append(dups, t.TS)
+		}
+		seen[t.TS] = true
+	}
+	return dups
+}

@@ -1,0 +1,120 @@
+package checker
+
+import (
+	"testing"
+
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
+)
+
+func ts(t int64) timestamp.Timestamp { return timestamp.Timestamp{Time: t, ClientID: 1} }
+
+func TestCleanHistoryPasses(t *testing.T) {
+	h := New()
+	// T1 writes k@10; T2 reads k@10 and writes k@20; T3 reads k@20.
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 1, ClientID: 1}, TS: ts(10),
+		WriteSet: []message.WriteSetEntry{{Key: "k"}},
+	})
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 2, ClientID: 1}, TS: ts(20),
+		ReadSet:  []message.ReadSetEntry{{Key: "k", WTS: ts(10)}},
+		WriteSet: []message.WriteSetEntry{{Key: "k"}},
+	})
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 3, ClientID: 1}, TS: ts(30),
+		ReadSet: []message.ReadSetEntry{{Key: "k", WTS: ts(20)}},
+	})
+	if v := h.Check(nil); v != nil {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+}
+
+func TestLostUpdateDetected(t *testing.T) {
+	h := New()
+	// Both T2 and T3 read the initial version and write: a lost update.
+	init := map[string]timestamp.Timestamp{"k": ts(1)}
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 1, ClientID: 1}, TS: ts(10),
+		ReadSet:  []message.ReadSetEntry{{Key: "k", WTS: ts(1)}},
+		WriteSet: []message.WriteSetEntry{{Key: "k"}},
+	})
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 1, ClientID: 2}, TS: ts(20),
+		ReadSet:  []message.ReadSetEntry{{Key: "k", WTS: ts(1)}}, // stale!
+		WriteSet: []message.WriteSetEntry{{Key: "k"}},
+	})
+	v := h.Check(init)
+	if len(v) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(v), v)
+	}
+	if v[0].Key != "k" || v[0].SerialWTS != ts(10) {
+		t.Fatalf("violation %+v", v[0])
+	}
+	if v[0].Error() == "" {
+		t.Fatal("empty violation message")
+	}
+}
+
+func TestUnsortedInsertionOrderIrrelevant(t *testing.T) {
+	h := New()
+	// Insert out of timestamp order; replay must sort.
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 2, ClientID: 1}, TS: ts(20),
+		ReadSet: []message.ReadSetEntry{{Key: "k", WTS: ts(10)}},
+	})
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 1, ClientID: 1}, TS: ts(10),
+		WriteSet: []message.WriteSetEntry{{Key: "k"}},
+	})
+	if v := h.Check(nil); v != nil {
+		t.Fatalf("flagged: %v", v)
+	}
+}
+
+func TestThomasRuleWriteOrder(t *testing.T) {
+	// A committed write with an older timestamp than an existing version
+	// must not regress the replay state.
+	h := New()
+	h.Add(CommittedTxn{ID: timestamp.TxnID{Seq: 1, ClientID: 1}, TS: ts(20),
+		WriteSet: []message.WriteSetEntry{{Key: "k"}}})
+	h.Add(CommittedTxn{ID: timestamp.TxnID{Seq: 1, ClientID: 2}, TS: ts(15),
+		WriteSet: []message.WriteSetEntry{{Key: "k"}}}) // blind older write
+	h.Add(CommittedTxn{ID: timestamp.TxnID{Seq: 2, ClientID: 1}, TS: ts(30),
+		ReadSet: []message.ReadSetEntry{{Key: "k", WTS: ts(20)}}})
+	if v := h.Check(nil); v != nil {
+		t.Fatalf("flagged: %v", v)
+	}
+}
+
+func TestReadOfMissingKey(t *testing.T) {
+	h := New()
+	// Reading a never-written key observes version Zero.
+	h.Add(CommittedTxn{ID: timestamp.TxnID{Seq: 1, ClientID: 1}, TS: ts(10),
+		ReadSet: []message.ReadSetEntry{{Key: "nope", WTS: timestamp.Zero}}})
+	if v := h.Check(nil); v != nil {
+		t.Fatalf("flagged: %v", v)
+	}
+	// But reading a version that replay says should not exist fails.
+	h.Add(CommittedTxn{ID: timestamp.TxnID{Seq: 2, ClientID: 1}, TS: ts(20),
+		ReadSet: []message.ReadSetEntry{{Key: "nope", WTS: ts(5)}}})
+	if v := h.Check(nil); len(v) != 1 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestUniqueTimestamps(t *testing.T) {
+	h := New()
+	h.Add(CommittedTxn{TS: ts(10)})
+	h.Add(CommittedTxn{TS: ts(20)})
+	if d := h.CheckUniqueTimestamps(); d != nil {
+		t.Fatalf("false duplicates: %v", d)
+	}
+	h.Add(CommittedTxn{TS: ts(10)})
+	if d := h.CheckUniqueTimestamps(); len(d) != 1 {
+		t.Fatalf("missed duplicate: %v", d)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}

@@ -1,0 +1,94 @@
+// Package clock provides the loosely synchronized clocks Meerkat clients use
+// to propose transaction timestamps.
+//
+// Meerkat does not require clock synchronization for correctness — only for
+// performance (badly skewed clocks make more transactions abort). The paper's
+// testbed synchronizes client clocks with PTP; this package substitutes a
+// monotonic clock with an injectable static offset and drift rate so tests
+// can reproduce both the well-synchronized and the badly skewed regimes.
+package clock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies local time readings in nanoseconds. Implementations must be
+// safe for concurrent use.
+type Clock interface {
+	// Now returns the current local clock reading in nanoseconds.
+	Now() int64
+}
+
+// Real is a Clock backed by the machine's monotonic clock.
+type Real struct {
+	base time.Time
+}
+
+// NewReal returns a Clock that reads the machine's monotonic clock, starting
+// near zero (readings are offsets from construction time plus wall base).
+// Using the wall clock as a base keeps readings comparable across processes
+// on the same machine, matching the paper's PTP-synchronized deployment.
+func NewReal() *Real {
+	return &Real{base: time.Now()}
+}
+
+// Now implements Clock.
+func (c *Real) Now() int64 {
+	// UnixNano of the base plus the monotonic delta since construction: the
+	// monotonic reading avoids wall-clock steps, the base keeps processes on
+	// one machine loosely aligned.
+	return c.base.UnixNano() + int64(time.Since(c.base))
+}
+
+// Skewed wraps a Clock with a static offset and a drift rate, simulating a
+// client whose clock is out of sync. A drift of d means the skewed clock
+// gains d nanoseconds per real second.
+type Skewed struct {
+	inner  Clock
+	offset int64
+	drift  int64 // ns gained per second of inner time
+	start  int64
+}
+
+// NewSkewed returns a clock reading inner.Now() + offset + drift*(elapsed
+// seconds). offset and drift may be negative.
+func NewSkewed(inner Clock, offset, driftPerSec int64) *Skewed {
+	return &Skewed{inner: inner, offset: offset, drift: driftPerSec, start: inner.Now()}
+}
+
+// Now implements Clock.
+func (c *Skewed) Now() int64 {
+	t := c.inner.Now()
+	elapsed := t - c.start
+	return t + c.offset + (elapsed/int64(time.Second))*c.drift
+}
+
+// Manual is a Clock driven entirely by the test: it returns a value that only
+// changes when Advance or Set is called. Safe for concurrent use.
+type Manual struct {
+	now atomic.Int64
+}
+
+// NewManual returns a Manual clock starting at start.
+func NewManual(start int64) *Manual {
+	m := &Manual{}
+	m.now.Store(start)
+	return m
+}
+
+// Now implements Clock.
+func (m *Manual) Now() int64 { return m.now.Load() }
+
+// Advance moves the clock forward by d nanoseconds and returns the new
+// reading.
+func (m *Manual) Advance(d int64) int64 { return m.now.Add(d) }
+
+// Set sets the clock to t, which may move it backwards.
+func (m *Manual) Set(t int64) { m.now.Store(t) }
+
+// Func adapts a plain function to the Clock interface.
+type Func func() int64
+
+// Now implements Clock.
+func (f Func) Now() int64 { return f() }

@@ -1,0 +1,100 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealMonotonicNonDecreasing(t *testing.T) {
+	c := NewReal()
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		now := c.Now()
+		if now < prev {
+			t.Fatalf("clock went backwards: %d -> %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestRealAdvances(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b-a < int64(time.Millisecond) {
+		t.Fatalf("clock advanced only %dns over a 2ms sleep", b-a)
+	}
+}
+
+func TestSkewedOffset(t *testing.T) {
+	m := NewManual(1000)
+	s := NewSkewed(m, 500, 0)
+	if got := s.Now(); got != 1500 {
+		t.Fatalf("Now() = %d, want 1500", got)
+	}
+	m.Advance(100)
+	if got := s.Now(); got != 1600 {
+		t.Fatalf("Now() = %d, want 1600", got)
+	}
+}
+
+func TestSkewedNegativeOffset(t *testing.T) {
+	m := NewManual(1000)
+	s := NewSkewed(m, -300, 0)
+	if got := s.Now(); got != 700 {
+		t.Fatalf("Now() = %d, want 700", got)
+	}
+}
+
+func TestSkewedDrift(t *testing.T) {
+	m := NewManual(0)
+	s := NewSkewed(m, 0, 10) // gains 10ns per second
+	m.Advance(int64(3 * time.Second))
+	want := int64(3*time.Second) + 30
+	if got := s.Now(); got != want {
+		t.Fatalf("Now() = %d, want %d", got, want)
+	}
+}
+
+func TestManualSetAndAdvance(t *testing.T) {
+	m := NewManual(5)
+	if m.Now() != 5 {
+		t.Fatal("start wrong")
+	}
+	if got := m.Advance(10); got != 15 {
+		t.Fatalf("Advance returned %d, want 15", got)
+	}
+	m.Set(3)
+	if m.Now() != 3 {
+		t.Fatal("Set did not move clock backwards")
+	}
+}
+
+func TestManualConcurrent(t *testing.T) {
+	m := NewManual(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Advance(1)
+				_ = m.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Now() != 8000 {
+		t.Fatalf("Now() = %d, want 8000", m.Now())
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	n := int64(0)
+	c := Func(func() int64 { n++; return n })
+	if c.Now() != 1 || c.Now() != 2 {
+		t.Fatal("Func adapter did not call through")
+	}
+}

@@ -1,0 +1,499 @@
+// Package coordinator implements the Meerkat transaction coordinator
+// (§5.1–§5.2): the execution phase (reads from any replica, buffered
+// writes), the combined validation/replication phase with its supermajority
+// fast path and Paxos-like slow path, and the write-phase commit broadcast.
+//
+// It also implements the consensus-based coordinator recovery procedure of
+// §5.3.2, used both by backup coordinators on replicas (via the sweeper) and
+// by an original coordinator whose slow-path proposal was superseded.
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"meerkat/internal/clock"
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/topo"
+	"meerkat/internal/transport"
+)
+
+// Errors returned by the commit protocol.
+var (
+	// ErrTimeout means the coordinator could not assemble the quorums it
+	// needed within its retry budget; the transaction's outcome is
+	// unknown (a backup coordinator will eventually finish it).
+	ErrTimeout = errors.New("coordinator: timed out, outcome unknown")
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	Topo     topo.Topology
+	ClientID uint64
+	Net      transport.Network
+	Clock    clock.Clock
+
+	// Timeout bounds each wait for a quorum of replies before the request
+	// is resent. Defaults to 100ms.
+	Timeout time.Duration
+	// Retries is how many times each request is resent before giving up.
+	// Defaults to 10.
+	Retries int
+	// DisableFastPath forces every transaction through the slow path, an
+	// ablation knob quantifying the fast path's round-trip saving.
+	DisableFastPath bool
+	// Seed seeds core/replica load-balancing choices. Zero means seed
+	// from ClientID.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Timeout == 0 {
+		c.Timeout = 100 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(c.ClientID + 1)
+	}
+}
+
+// Coordinator drives transactions for one client. It is not safe for
+// concurrent use: each closed-loop client owns one.
+type Coordinator struct {
+	cfg Config
+	gen *timestamp.Generator
+	rng *rand.Rand
+
+	// readEp serves the execution phase; commitEps[p] serves the commit
+	// protocol for partition p. Separate endpoints give each concurrent
+	// per-partition phase its own reply queue, so no demultiplexer is
+	// needed.
+	readEp    transport.Endpoint
+	readInbox *transport.Inbox
+	commitEps []transport.Endpoint
+	commitIns []*transport.Inbox
+
+	readSeq uint64
+}
+
+// New binds a coordinator's endpoints on cfg.Net.
+func New(cfg Config) (*Coordinator, error) {
+	cfg.fill()
+	if !cfg.Topo.Validate() {
+		return nil, fmt.Errorf("coordinator: invalid topology %+v", cfg.Topo)
+	}
+	c := &Coordinator{
+		cfg: cfg,
+		gen: timestamp.NewGenerator(cfg.ClientID, cfg.Clock.Now),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	base := cfg.Topo.ClientAddr(cfg.ClientID)
+	c.readInbox = transport.NewInbox(256)
+	ep, err := cfg.Net.Listen(base, c.readInbox.Handle)
+	if err != nil {
+		return nil, err
+	}
+	c.readEp = ep
+	for p := 0; p < cfg.Topo.Partitions; p++ {
+		in := transport.NewInbox(256)
+		ep, err := cfg.Net.Listen(message.Addr{Node: base.Node, Core: uint32(1 + p)}, in.Handle)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.commitEps = append(c.commitEps, ep)
+		c.commitIns = append(c.commitIns, in)
+	}
+	return c, nil
+}
+
+// Close releases the coordinator's endpoints.
+func (c *Coordinator) Close() {
+	if c.readEp != nil {
+		c.readEp.Close()
+	}
+	for _, ep := range c.commitEps {
+		ep.Close()
+	}
+}
+
+// drain discards any stale buffered replies (from retries of prior
+// operations) so they cannot be mistaken for replies to the next one.
+func drain(in *transport.Inbox) {
+	for {
+		select {
+		case <-in.C:
+		default:
+			return
+		}
+	}
+}
+
+// Read performs one execution-phase read: it asks a uniformly chosen replica
+// core of the key's partition for the latest committed version. A missing
+// key returns ok=false with version Zero — still a meaningful read that the
+// validation phase will check.
+func (c *Coordinator) Read(key string) (value []byte, version timestamp.Timestamp, ok bool, err error) {
+	p := c.cfg.Topo.PartitionForKey(key)
+	c.readSeq++
+	seq := c.readSeq
+	drain(c.readInbox)
+
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		// Load-balance GETs across replicas and cores, as in §6.2.
+		r := c.rng.Intn(c.cfg.Topo.Replicas)
+		core := uint32(c.rng.Intn(c.cfg.Topo.Cores))
+		dst := c.cfg.Topo.ReplicaAddr(p, r, core)
+		err = c.readEp.Send(dst, &message.Message{Type: message.TypeRead, Key: key, Seq: seq})
+		if err != nil {
+			return nil, timestamp.Timestamp{}, false, err
+		}
+		deadline := time.NewTimer(c.cfg.Timeout)
+		for {
+			select {
+			case m := <-c.readInbox.C:
+				if m.Type != message.TypeReadReply || m.Seq != seq {
+					continue // stale reply
+				}
+				deadline.Stop()
+				return m.Value, m.TS, m.OK, nil
+			case <-deadline.C:
+			}
+			break
+		}
+	}
+	return nil, timestamp.Timestamp{}, false, ErrTimeout
+}
+
+// Txn accumulates a transaction's read and write sets on the client, with
+// read-your-writes and read-caching semantics.
+type Txn struct {
+	c        *Coordinator
+	reads    []message.ReadSetEntry
+	readVals [][]byte
+	writes   []message.WriteSetEntry
+	writeIdx map[string]int
+	readIdx  map[string]int
+
+	// committedAt is the serialization timestamp, set once Commit decides.
+	committedAt timestamp.Timestamp
+	id          timestamp.TxnID
+}
+
+// Begin starts a new transaction.
+func (c *Coordinator) Begin() *Txn {
+	return &Txn{
+		c:        c,
+		writeIdx: make(map[string]int),
+		readIdx:  make(map[string]int),
+	}
+}
+
+// Read returns the value of key as of this transaction's snapshot: a
+// buffered write if the transaction wrote the key, the previously read value
+// if it already read it, or a fresh versioned read from a replica.
+func (t *Txn) Read(key string) ([]byte, error) {
+	if i, ok := t.writeIdx[key]; ok {
+		return t.writes[i].Value, nil
+	}
+	if i, ok := t.readIdx[key]; ok {
+		return t.readVals[i], nil
+	}
+	val, ver, _, err := t.c.Read(key)
+	if err != nil {
+		return nil, err
+	}
+	t.readIdx[key] = len(t.reads)
+	t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: ver})
+	t.readVals = append(t.readVals, val)
+	return val, nil
+}
+
+// Write buffers a write; nothing reaches any replica until Commit.
+func (t *Txn) Write(key string, value []byte) {
+	if i, ok := t.writeIdx[key]; ok {
+		t.writes[i].Value = value
+		return
+	}
+	t.writeIdx[key] = len(t.writes)
+	t.writes = append(t.writes, message.WriteSetEntry{Key: key, Value: value})
+}
+
+// ReadSetSize and WriteSetSize expose set sizes for tests and stats.
+func (t *Txn) ReadSetSize() int  { return len(t.reads) }
+func (t *Txn) WriteSetSize() int { return len(t.writes) }
+
+// Commit runs the validation and write phases. It returns true if the
+// transaction committed, false if it aborted due to conflicts, and an error
+// if the outcome could not be determined within the retry budget.
+func (t *Txn) Commit() (bool, error) {
+	return t.c.commit(t)
+}
+
+// Timestamp returns the transaction's serialization timestamp (valid after
+// Commit returned true): committed transactions are one-copy serializable in
+// timestamp order.
+func (t *Txn) Timestamp() timestamp.Timestamp { return t.committedAt }
+
+// ID returns the transaction id assigned at commit time.
+func (t *Txn) ID() timestamp.TxnID { return t.id }
+
+// ReadSet and WriteSet expose the transaction's sets for verification
+// tooling (the serializability checker); callers must not mutate them.
+func (t *Txn) ReadSet() []message.ReadSetEntry   { return t.reads }
+func (t *Txn) WriteSet() []message.WriteSetEntry { return t.writes }
+
+// partTxn is the slice of a transaction owned by one partition.
+type partTxn struct {
+	p   int
+	txn message.Txn
+}
+
+// split carves the transaction into per-partition pieces.
+func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
+	if c.cfg.Topo.Partitions == 1 {
+		return []partTxn{{p: 0, txn: message.Txn{ID: tid, ReadSet: t.reads, WriteSet: t.writes}}}
+	}
+	m := make(map[int]*message.Txn)
+	get := func(p int) *message.Txn {
+		tx := m[p]
+		if tx == nil {
+			tx = &message.Txn{ID: tid}
+			m[p] = tx
+		}
+		return tx
+	}
+	for _, r := range t.reads {
+		p := c.cfg.Topo.PartitionForKey(r.Key)
+		tx := get(p)
+		tx.ReadSet = append(tx.ReadSet, r)
+	}
+	for _, w := range t.writes {
+		p := c.cfg.Topo.PartitionForKey(w.Key)
+		tx := get(p)
+		tx.WriteSet = append(tx.WriteSet, w)
+	}
+	out := make([]partTxn, 0, len(m))
+	for p, tx := range m {
+		out = append(out, partTxn{p: p, txn: *tx})
+	}
+	return out
+}
+
+// commit implements steps 1–6 of §5.2.2, extended to distributed
+// transactions per §5.2.4: the validation phase runs in every partition the
+// transaction touched, and the transaction commits only if every partition
+// validates it.
+func (c *Coordinator) commit(t *Txn) (bool, error) {
+	// Step 1: pick the processing core, the proposed timestamp, and the
+	// transaction id. The timestamp comes from the client's loosely
+	// synchronized clock — no coordination.
+	coreID := uint32(c.rng.Intn(c.cfg.Topo.Cores))
+	ts := c.gen.NextTimestamp()
+	tid := c.gen.NextID()
+	t.committedAt = ts
+	t.id = tid
+
+	parts := c.split(t, tid)
+	if len(parts) == 0 {
+		return true, nil // empty transaction commits trivially
+	}
+
+	// Steps 2–5 in each touched partition, in parallel.
+	type partResult struct {
+		commit bool
+		err    error
+	}
+	results := make([]partResult, len(parts))
+	done := make(chan int, len(parts))
+	for i := range parts {
+		go func(i int) {
+			ok, err := c.validatePhase(parts[i].p, &parts[i].txn, ts, coreID)
+			results[i] = partResult{commit: ok, err: err}
+			done <- i
+		}(i)
+	}
+	for range parts {
+		<-done
+	}
+
+	committed := true
+	for _, r := range results {
+		if r.err != nil {
+			return false, r.err
+		}
+		committed = committed && r.commit
+	}
+
+	// Step 3/6: asynchronously broadcast the final outcome. The paper
+	// piggybacks this on the client's next message; sending immediately on
+	// a non-blocking transport is equivalent.
+	st := message.StatusCommitted
+	if !committed {
+		st = message.StatusAborted
+	}
+	for i := range parts {
+		ep := c.commitEps[parts[i].p]
+		for _, dst := range c.cfg.Topo.GroupAddrs(parts[i].p, coreID) {
+			// One message per destination: the transport stamps Src on
+			// send, so messages must not be shared across Sends.
+			ep.Send(dst, &message.Message{Type: message.TypeCommit, TID: tid, Status: st, CoreID: coreID})
+		}
+	}
+	return committed, nil
+}
+
+// validatePhase runs the commit protocol for one partition and returns the
+// partition's decision: true to commit, false to abort.
+func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32) (bool, error) {
+	ep, in := c.commitEps[p], c.commitIns[p]
+	drain(in)
+	group := c.cfg.Topo.GroupAddrs(p, coreID)
+	n := c.cfg.Topo.Replicas
+	fast := c.cfg.Topo.FastQuorum()
+	majority := c.cfg.Topo.Majority()
+
+	req := message.Message{Type: message.TypeValidate, Txn: *txn, TID: txn.ID, TS: ts, CoreID: coreID}
+
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		for _, dst := range group {
+			m := req // copy per destination: Send stamps Src
+			ep.Send(dst, &m)
+		}
+
+		// Step 3: collect validate-replies, watching for the fast-path
+		// supermajority of matching responses. Once a majority is in, give
+		// the stragglers only a short grace window before taking the slow
+		// path — a crashed replica must not cost a full timeout per txn.
+		replies := make(map[uint32]message.Status, n)
+		countOK, countAbort := 0, 0
+		deadline := time.NewTimer(c.cfg.Timeout)
+		var grace <-chan time.Time
+	collect:
+		for {
+			select {
+			case <-grace:
+				break collect
+			case m := <-in.C:
+				if m.Type != message.TypeValidateReply || m.TID != txn.ID {
+					continue
+				}
+				if _, dup := replies[m.ReplicaID]; dup {
+					continue
+				}
+				replies[m.ReplicaID] = m.Status
+				switch m.Status {
+				case message.StatusValidatedOK:
+					countOK++
+				case message.StatusValidatedAbort:
+					countAbort++
+				case message.StatusCommitted:
+					// Another coordinator already finished it.
+					deadline.Stop()
+					return true, nil
+				case message.StatusAborted:
+					deadline.Stop()
+					return false, nil
+				}
+				if !c.cfg.DisableFastPath {
+					if countOK >= fast {
+						deadline.Stop()
+						return true, nil
+					}
+					if countAbort >= fast {
+						deadline.Stop()
+						return false, nil
+					}
+				}
+				if len(replies) == n {
+					deadline.Stop()
+					break collect
+				}
+				if len(replies) >= majority && grace == nil {
+					g := c.cfg.Timeout / 10
+					if g <= 0 {
+						g = time.Millisecond
+					}
+					gt := time.NewTimer(g)
+					defer gt.Stop()
+					grace = gt.C
+				}
+			case <-deadline.C:
+				break collect
+			}
+		}
+
+		// Step 4: the fast path condition was not met. With a majority of
+		// replies, take the slow path; otherwise resend the validate.
+		if len(replies) >= majority {
+			proposal := message.StatusAcceptAbort
+			if countOK >= majority {
+				proposal = message.StatusAcceptCommit
+			}
+			return c.slowPath(p, txn, ts, coreID, proposal, 0)
+		}
+	}
+	return false, ErrTimeout
+}
+
+// slowPath runs steps 4–6 of the commit protocol: an accept round that gets
+// a majority of replicas to durably record the proposed outcome. If the
+// proposal is superseded by a higher view (a backup coordinator took over),
+// the coordinator escalates to the recovery procedure to learn the final
+// outcome.
+func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32, proposal message.Status, view uint64) (bool, error) {
+	ep, in := c.commitEps[p], c.commitIns[p]
+	group := c.cfg.Topo.GroupAddrs(p, coreID)
+	majority := c.cfg.Topo.Majority()
+
+	req := message.Message{
+		Type: message.TypeAccept, TID: txn.ID, Status: proposal, View: view,
+		Txn: *txn, TS: ts, CoreID: coreID,
+	}
+
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		for _, dst := range group {
+			m := req // copy per destination: Send stamps Src
+			ep.Send(dst, &m)
+		}
+		acks := make(map[uint32]bool, len(group))
+		superseded := uint64(0)
+		deadline := time.NewTimer(c.cfg.Timeout)
+	collect:
+		for {
+			select {
+			case m := <-in.C:
+				if m.Type != message.TypeAcceptReply || m.TID != txn.ID {
+					continue
+				}
+				if !m.OK {
+					if m.View > superseded {
+						superseded = m.View
+					}
+					continue
+				}
+				if m.View != view {
+					continue
+				}
+				acks[m.ReplicaID] = true
+				if len(acks) >= majority {
+					deadline.Stop()
+					return proposal == message.StatusAcceptCommit, nil
+				}
+			case <-deadline.C:
+				break collect
+			}
+		}
+		if superseded > view {
+			// A backup coordinator holds a higher view: join the recovery
+			// protocol at a view above it to learn the decided outcome.
+			return c.RecoverTxn(p, txn.ID, coreID, superseded)
+		}
+	}
+	return false, ErrTimeout
+}

@@ -1,0 +1,123 @@
+package coordinator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meerkat/internal/message"
+)
+
+func TestMakeViewRoundTrip(t *testing.T) {
+	f := func(round uint64, proposer uint64) bool {
+		round %= 1 << 40
+		v := MakeView(round, proposer)
+		return RoundOf(v) == round
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewsUniquePerProposer(t *testing.T) {
+	// Same round, different proposers -> different views; later rounds
+	// always order above earlier rounds regardless of proposer.
+	a := MakeView(1, 0)
+	b := MakeView(1, 1)
+	if a == b {
+		t.Fatal("views collide across proposers")
+	}
+	if !(MakeView(2, 0) > MakeView(1, 1<<19)) {
+		t.Fatal("round does not dominate proposer in view ordering")
+	}
+	if MakeView(0, 0) != 0 {
+		t.Fatal("view 0 must be the original coordinator's")
+	}
+}
+
+func rec(st message.Status, acceptView uint64) message.TRecordEntry {
+	return message.TRecordEntry{Status: st, AcceptView: acceptView}
+}
+
+func TestDecideOutcomeFinalWins(t *testing.T) {
+	st, final := DecideOutcome([]message.TRecordEntry{
+		rec(message.StatusValidatedOK, 0),
+		rec(message.StatusCommitted, 0),
+	}, 1)
+	if !final || st != message.StatusCommitted {
+		t.Fatalf("got %v final=%v", st, final)
+	}
+	st, final = DecideOutcome([]message.TRecordEntry{
+		rec(message.StatusAborted, 0),
+		rec(message.StatusValidatedOK, 0),
+	}, 1)
+	if !final || st != message.StatusAborted {
+		t.Fatalf("got %v final=%v", st, final)
+	}
+}
+
+func TestDecideOutcomeAcceptedLatestView(t *testing.T) {
+	st, final := DecideOutcome([]message.TRecordEntry{
+		rec(message.StatusAcceptCommit, 2),
+		rec(message.StatusAcceptAbort, 7),
+	}, 1)
+	if final || st != message.StatusAcceptAbort {
+		t.Fatalf("got %v final=%v", st, final)
+	}
+}
+
+func TestDecideOutcomeMajorityValidated(t *testing.T) {
+	st, _ := DecideOutcome([]message.TRecordEntry{
+		rec(message.StatusValidatedOK, 0),
+		rec(message.StatusValidatedOK, 0),
+	}, 1)
+	if st != message.StatusAcceptCommit {
+		t.Fatalf("2xOK (f=1) -> %v", st)
+	}
+	st, _ = DecideOutcome([]message.TRecordEntry{
+		rec(message.StatusValidatedAbort, 0),
+		rec(message.StatusValidatedAbort, 0),
+	}, 1)
+	if st != message.StatusAcceptAbort {
+		t.Fatalf("2xABORT (f=1) -> %v", st)
+	}
+}
+
+func TestDecideOutcomeFastPathPossibility(t *testing.T) {
+	// f=2: ceil(f/2)+1 = 2 VALIDATED-OK among 3 records -> must propose
+	// commit (the txn may have fast-committed).
+	st, _ := DecideOutcome([]message.TRecordEntry{
+		rec(message.StatusValidatedOK, 0),
+		rec(message.StatusValidatedOK, 0),
+		rec(message.StatusNone, 0),
+	}, 2)
+	if st != message.StatusAcceptCommit {
+		t.Fatalf("possible fast commit -> %v", st)
+	}
+}
+
+func TestDecideOutcomeDefaultAbort(t *testing.T) {
+	// Nothing proves a commit: abort is the safe outcome.
+	st, final := DecideOutcome([]message.TRecordEntry{
+		rec(message.StatusNone, 0),
+		rec(message.StatusValidatedAbort, 0),
+	}, 1)
+	if final || st != message.StatusAcceptAbort {
+		t.Fatalf("got %v final=%v", st, final)
+	}
+	st, _ = DecideOutcome(nil, 1)
+	if st != message.StatusAcceptAbort {
+		t.Fatalf("empty records -> %v", st)
+	}
+}
+
+func TestDecideOutcomePriorityOrder(t *testing.T) {
+	// An accepted record takes priority over validated majorities.
+	st, final := DecideOutcome([]message.TRecordEntry{
+		rec(message.StatusAcceptAbort, 3),
+		rec(message.StatusValidatedOK, 0),
+		rec(message.StatusValidatedOK, 0),
+	}, 1)
+	if final || st != message.StatusAcceptAbort {
+		t.Fatalf("accepted decision not prioritized: %v", st)
+	}
+}

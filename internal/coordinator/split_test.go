@@ -1,0 +1,96 @@
+package coordinator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"meerkat/internal/clock"
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/topo"
+	"meerkat/internal/transport"
+)
+
+func newSplitCoordinator(t *testing.T, partitions int) *Coordinator {
+	t.Helper()
+	net := transport.NewInproc(transport.InprocConfig{})
+	t.Cleanup(func() { net.Close() })
+	c, err := New(Config{
+		Topo:     topo.Topology{Partitions: partitions, Replicas: 3, Cores: 2},
+		ClientID: 1,
+		Net:      net,
+		Clock:    clock.NewManual(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestSplitSinglePartitionPassthrough(t *testing.T) {
+	c := newSplitCoordinator(t, 1)
+	txn := c.Begin()
+	txn.reads = []message.ReadSetEntry{{Key: "a"}, {Key: "b"}}
+	txn.writes = []message.WriteSetEntry{{Key: "c"}}
+	parts := c.split(txn, timestamp.TxnID{Seq: 1, ClientID: 1})
+	if len(parts) != 1 || parts[0].p != 0 {
+		t.Fatalf("parts %+v", parts)
+	}
+	if len(parts[0].txn.ReadSet) != 2 || len(parts[0].txn.WriteSet) != 1 {
+		t.Fatalf("sets %+v", parts[0].txn)
+	}
+}
+
+func TestSplitPartitionsCoverAndAgree(t *testing.T) {
+	// Property: splitting preserves every read/write exactly once, routes
+	// each key to its owning partition, and stamps every piece with the
+	// transaction id.
+	c := newSplitCoordinator(t, 4)
+	tp := c.cfg.Topo
+	f := func(seed int64, nReads, nWrites uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		txn := c.Begin()
+		for i := 0; i < int(nReads%24); i++ {
+			txn.reads = append(txn.reads, message.ReadSetEntry{Key: fmt.Sprintf("rk-%d", rng.Intn(1000))})
+		}
+		for i := 0; i < int(nWrites%24); i++ {
+			txn.writes = append(txn.writes, message.WriteSetEntry{Key: fmt.Sprintf("wk-%d", rng.Intn(1000))})
+		}
+		tid := timestamp.TxnID{Seq: uint64(seed), ClientID: 1}
+		parts := c.split(txn, tid)
+
+		reads, writes := 0, 0
+		for _, pt := range parts {
+			if pt.txn.ID != tid {
+				return false
+			}
+			for _, r := range pt.txn.ReadSet {
+				if tp.PartitionForKey(r.Key) != pt.p {
+					return false
+				}
+				reads++
+			}
+			for _, w := range pt.txn.WriteSet {
+				if tp.PartitionForKey(w.Key) != pt.p {
+					return false
+				}
+				writes++
+			}
+		}
+		return reads == len(txn.reads) && writes == len(txn.writes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitEmptyTxn(t *testing.T) {
+	c := newSplitCoordinator(t, 4)
+	parts := c.split(c.Begin(), timestamp.TxnID{Seq: 1, ClientID: 1})
+	if len(parts) != 0 {
+		t.Fatalf("empty txn split into %d parts", len(parts))
+	}
+}

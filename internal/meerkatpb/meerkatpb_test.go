@@ -1,0 +1,224 @@
+package meerkatpb_test
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"meerkat/internal/clock"
+	"meerkat/internal/meerkatpb"
+	"meerkat/internal/pbclient"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/topo"
+	"meerkat/internal/transport"
+)
+
+type cluster struct {
+	topo topo.Topology
+	net  *transport.Inproc
+	reps []*meerkatpb.Replica
+	next uint64
+}
+
+func newCluster(t *testing.T, cores int) *cluster {
+	t.Helper()
+	tp := topo.Topology{Partitions: 1, Replicas: 3, Cores: cores}
+	c := &cluster{topo: tp, net: transport.NewInproc(transport.InprocConfig{})}
+	for i := 0; i < 3; i++ {
+		rep, err := meerkatpb.New(meerkatpb.Config{Topo: tp, Index: i, Net: c.net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		c.reps = append(c.reps, rep)
+	}
+	t.Cleanup(func() {
+		for _, r := range c.reps {
+			r.Stop()
+		}
+		c.net.Close()
+	})
+	return c
+}
+
+func (c *cluster) load(key, val string) {
+	ts := timestamp.Timestamp{Time: 1, ClientID: 0}
+	for _, r := range c.reps {
+		r.Store().Load(key, []byte(val), ts)
+	}
+}
+
+func (c *cluster) client(t *testing.T) *pbclient.Client {
+	t.Helper()
+	c.next++
+	cl, err := pbclient.New(pbclient.Config{
+		Topo: c.topo, ClientID: c.next, Net: c.net, Clock: clock.NewReal(),
+		ClientTimestamps: true,
+		Timeout:          50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestCommitAndReadBack(t *testing.T) {
+	c := newCluster(t, 2)
+	cl := c.client(t)
+
+	txn := cl.Begin()
+	txn.Write("k", []byte("v1"))
+	if ok, err := txn.Commit(); !ok || err != nil {
+		t.Fatalf("commit: %v, %v", ok, err)
+	}
+	txn = cl.Begin()
+	v, err := txn.Read("k")
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("read %q, %v", v, err)
+	}
+	if ok, err := txn.Commit(); !ok || err != nil {
+		t.Fatalf("read txn: %v, %v", ok, err)
+	}
+}
+
+func TestConflictAborts(t *testing.T) {
+	c := newCluster(t, 2)
+	c.load("k", "v0")
+	cl1, cl2 := c.client(t), c.client(t)
+
+	t1, t2 := cl1.Begin(), cl2.Begin()
+	if _, err := t1.Read("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Read("k"); err != nil {
+		t.Fatal(err)
+	}
+	t1.Write("k", []byte("a"))
+	t2.Write("k", []byte("b"))
+	ok1, _ := t1.Commit()
+	ok2, _ := t2.Commit()
+	if ok1 && ok2 {
+		t.Fatal("both conflicting transactions committed")
+	}
+}
+
+func TestNoLostUpdates(t *testing.T) {
+	c := newCluster(t, 4)
+	c.load("ctr", "0")
+
+	var committed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		cl := c.client(t)
+		wg.Add(1)
+		go func(cl *pbclient.Client) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				for attempt := 0; attempt < 30; attempt++ {
+					txn := cl.Begin()
+					v, err := txn.Read("ctr")
+					if err != nil {
+						continue
+					}
+					n, _ := strconv.Atoi(string(v))
+					txn.Write("ctr", []byte(strconv.Itoa(n+1)))
+					if ok, err := txn.Commit(); err == nil && ok {
+						mu.Lock()
+						committed++
+						mu.Unlock()
+						break
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	v, okv := c.reps[0].Store().Read("ctr")
+	if !okv {
+		t.Fatal("ctr missing at primary")
+	}
+	n, _ := strconv.Atoi(string(v.Value))
+	if int64(n) != committed {
+		t.Fatalf("ctr = %d, committed = %d (lost updates)", n, committed)
+	}
+	if committed == 0 {
+		t.Fatal("nothing committed")
+	}
+}
+
+func TestBackupsConverge(t *testing.T) {
+	c := newCluster(t, 2)
+	cl := c.client(t)
+	for i := 0; i < 30; i++ {
+		txn := cl.Begin()
+		txn.Write(fmt.Sprintf("k%d", i%5), []byte(fmt.Sprintf("v%d", i)))
+		if ok, err := txn.Commit(); !ok || err != nil {
+			t.Fatalf("commit %d: %v %v", i, ok, err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		want, _ := c.reps[0].Store().Read(key)
+		for r := 1; r < 3; r++ {
+			got, ok := c.reps[r].Store().Read(key)
+			if !ok || string(got.Value) != string(want.Value) {
+				t.Fatalf("backup %d has %s=%q, primary %q", r, key, got.Value, want.Value)
+			}
+		}
+	}
+}
+
+func TestOutOfOrderBackupApply(t *testing.T) {
+	// Two transactions on different cores may reach backups in any order;
+	// timestamped installs make the result order-free. Verify the final
+	// value matches the primary regardless.
+	c := newCluster(t, 4)
+	c.load("k", "v0")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		cl := c.client(t)
+		wg.Add(1)
+		go func(cl *pbclient.Client, i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				txn := cl.Begin()
+				txn.Write("k", []byte(fmt.Sprintf("c%d-%d", i, j)))
+				txn.Commit()
+			}
+		}(cl, i)
+	}
+	wg.Wait()
+	time.Sleep(50 * time.Millisecond)
+
+	want, _ := c.reps[0].Store().Read("k")
+	for r := 1; r < 3; r++ {
+		got, _ := c.reps[r].Store().Read("k")
+		if string(got.Value) != string(want.Value) || got.WTS != want.WTS {
+			t.Fatalf("backup %d: %q@%v, primary %q@%v", r, got.Value, got.WTS, want.Value, want.WTS)
+		}
+	}
+}
+
+func TestReadOnlyTxnAlwaysCommits(t *testing.T) {
+	c := newCluster(t, 2)
+	c.load("k", "v")
+	cl := c.client(t)
+	for i := 0; i < 10; i++ {
+		txn := cl.Begin()
+		if _, err := txn.Read("k"); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := txn.Commit()
+		if err != nil || !ok {
+			t.Fatalf("read-only txn aborted: %v %v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package message
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"meerkat/internal/timestamp"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Type: TypeValidate,
+		Src:  Addr{Node: 3, Core: 7},
+		Txn: Txn{
+			ID: timestamp.TxnID{Seq: 42, ClientID: 9},
+			ReadSet: []ReadSetEntry{
+				{Key: "a", WTS: timestamp.Timestamp{Time: 3, ClientID: 1}},
+				{Key: "b", WTS: timestamp.Timestamp{Time: 9, ClientID: 2}},
+			},
+			WriteSet: []WriteSetEntry{
+				{Key: "a", Value: []byte("hello")},
+			},
+		},
+		TID:    timestamp.TxnID{Seq: 42, ClientID: 9},
+		TS:     timestamp.Timestamp{Time: 100, ClientID: 9},
+		Status: StatusValidatedOK,
+		View:   2,
+		CoreID: 5,
+		Key:    "k",
+		Value:  []byte{1, 2, 3},
+		OK:     true,
+		Epoch:  7,
+		Records: []TRecordEntry{
+			{
+				Txn: Txn{
+					ID:       timestamp.TxnID{Seq: 1, ClientID: 2},
+					ReadSet:  []ReadSetEntry{{Key: "x", WTS: timestamp.Timestamp{Time: 1, ClientID: 1}}},
+					WriteSet: []WriteSetEntry{{Key: "y", Value: []byte("v")}},
+				},
+				TS:         timestamp.Timestamp{Time: 50, ClientID: 2},
+				Status:     StatusCommitted,
+				View:       1,
+				AcceptView: 1,
+				CoreID:     3,
+			},
+		},
+		Seq: 11,
+		Entries: []LogEntry{
+			{
+				Seq: 1,
+				TID: timestamp.TxnID{Seq: 2, ClientID: 3},
+				TS:  timestamp.Timestamp{Time: 4, ClientID: 3},
+				WriteSet: []WriteSetEntry{
+					{Key: "z", Value: []byte("w")},
+				},
+			},
+		},
+		ReplicaID: 2,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	buf := Encode(nil, m)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+	}
+}
+
+func TestEncodeDecodeEmptyMessage(t *testing.T) {
+	m := &Message{Type: TypeCommit}
+	buf := Encode(nil, m)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+	}
+}
+
+func TestEncodeAppendsToBuffer(t *testing.T) {
+	prefix := []byte("prefix")
+	m := &Message{Type: TypePut, Key: "k", Value: []byte("v")}
+	buf := Encode(append([]byte(nil), prefix...), m)
+	if !bytes.HasPrefix(buf, prefix) {
+		t.Fatal("Encode did not append to provided buffer")
+	}
+	got, err := Decode(buf[len(prefix):])
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Key != "k" || string(got.Value) != "v" {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	buf := Encode(nil, sampleMessage())
+	for _, n := range []int{0, 1, 5, len(buf) / 2, len(buf) - 1} {
+		if _, err := Decode(buf[:n]); err == nil {
+			t.Errorf("Decode of %d-byte prefix succeeded, want error", n)
+		}
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	buf := Encode(nil, sampleMessage())
+	buf = append(buf, 0xFF)
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("Decode with trailing bytes succeeded, want error")
+	}
+}
+
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(300)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		// Must not panic; error or success are both fine.
+		_, _ = Decode(buf)
+	}
+}
+
+func TestDecodeCorruptLengthPrefix(t *testing.T) {
+	// A huge uvarint length must fail cleanly, not attempt the allocation.
+	m := &Message{Type: TypeRead, Key: "abc"}
+	buf := Encode(nil, m)
+	// Corrupt a byte in the middle and ensure no panic.
+	for i := range buf {
+		b := make([]byte, len(buf))
+		copy(b, buf)
+		b[i] ^= 0xFF
+		_, _ = Decode(b)
+	}
+}
+
+// quickTxn builds a Txn from fuzzer-chosen primitives.
+func quickTxn(seq, cid uint64, keys []string, vals [][]byte) Txn {
+	t := Txn{ID: timestamp.TxnID{Seq: seq, ClientID: cid}}
+	for i, k := range keys {
+		t.ReadSet = append(t.ReadSet, ReadSetEntry{Key: k, WTS: timestamp.Timestamp{Time: int64(i), ClientID: cid}})
+	}
+	for i, v := range vals {
+		t.WriteSet = append(t.WriteSet, WriteSetEntry{Key: string(rune('a' + i%26)), Value: v})
+	}
+	return t
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seq, cid uint64, keys []string, vals [][]byte, key string, value []byte, ok bool, view, epoch uint64) bool {
+		m := &Message{
+			Type:   TypeValidate,
+			Txn:    quickTxn(seq, cid, keys, vals),
+			TID:    timestamp.TxnID{Seq: seq, ClientID: cid},
+			TS:     timestamp.Timestamp{Time: int64(seq), ClientID: cid},
+			Status: StatusValidatedOK,
+			View:   view,
+			Key:    key,
+			Value:  value,
+			OK:     ok,
+			Epoch:  epoch,
+		}
+		// Normalize: codec decodes empty slices as nil.
+		if len(m.Value) == 0 {
+			m.Value = nil
+		}
+		for i := range m.Txn.WriteSet {
+			if len(m.Txn.WriteSet[i].Value) == 0 {
+				m.Txn.WriteSet[i].Value = nil
+			}
+		}
+		buf := Encode(nil, m)
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if StatusValidatedOK.String() != "VALIDATED-OK" {
+		t.Errorf("got %q", StatusValidatedOK.String())
+	}
+	if StatusCommitted.String() != "COMMITTED" {
+		t.Errorf("got %q", StatusCommitted.String())
+	}
+	if !StatusCommitted.Final() || !StatusAborted.Final() {
+		t.Error("final statuses not Final()")
+	}
+	if StatusValidatedOK.Final() || StatusNone.Final() {
+		t.Error("non-final statuses reported Final()")
+	}
+	if Status(200).String() == "" {
+		t.Error("unknown status should still format")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if TypeValidate.String() != "validate" {
+		t.Errorf("got %q", TypeValidate.String())
+	}
+	if Type(200).String() == "" {
+		t.Error("unknown type should still format")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	for ty := TypeInvalid; ty <= TypePutReply; ty++ {
+		m := &Message{Type: ty}
+		if m.String() == "" {
+			t.Errorf("empty String() for %v", ty)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := sampleMessage()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := Encode(nil, sampleMessage())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStateTransferRoundTrip(t *testing.T) {
+	m := &Message{
+		Type: TypeStateReply,
+		Seq:  42,
+		OK:   true,
+		State: []KeyState{
+			{Key: "a", Value: []byte("v1"), WTS: timestamp.Timestamp{Time: 5, ClientID: 1}, RTS: timestamp.Timestamp{Time: 9, ClientID: 2}},
+			{Key: "b", Value: nil, WTS: timestamp.Timestamp{Time: 7, ClientID: 3}},
+		},
+		ReplicaID: 1,
+	}
+	buf := Encode(nil, m)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+	}
+}

@@ -1,0 +1,84 @@
+// Package occ implements the paper's Algorithm 1 — Meerkat's parallel
+// optimistic concurrency-control checks — plus the write phase (§5.2.3).
+//
+// The checks run against the versioned store with per-key locks only, so
+// validations of transactions with disjoint read/write sets proceed with no
+// shared state whatsoever. The same algorithm serves Meerkat, the TAPIR-like
+// baseline, Meerkat-PB, and KuaFu++'s primary-side validation, matching the
+// paper's shared storage/concurrency-control layer.
+package occ
+
+import (
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/vstore"
+)
+
+// Validate performs the OCC checks of Algorithm 1 for txn at proposed
+// timestamp ts. On success it returns StatusValidatedOK, leaving the
+// transaction's timestamp registered in the pending readers/writers of every
+// key it touched (to be cleared by ApplyCommit or ApplyAbort). On failure it
+// returns StatusValidatedAbort with all partial registrations backed out.
+func Validate(s *vstore.Store, txn *message.Txn, ts timestamp.Timestamp) message.Status {
+	// Validate the read set. A read is valid if it saw the latest committed
+	// version (e.wts <= r.wts) and no pending writer could commit a newer
+	// version that ts should have observed (ts <= min(e.writers)).
+	for i := range txn.ReadSet {
+		r := &txn.ReadSet[i]
+		if !s.ValidateRead(r.Key, r.WTS, ts) {
+			// Back out the readers registered so far.
+			for j := 0; j < i; j++ {
+				s.RemoveReader(txn.ReadSet[j].Key, ts)
+			}
+			return message.StatusValidatedAbort
+		}
+	}
+
+	// Validate the write set. A write is valid if it would not interpose
+	// itself before a committed read (ts >= e.rts) or a pending validated
+	// read (ts >= max(e.readers)).
+	for i := range txn.WriteSet {
+		w := &txn.WriteSet[i]
+		if !s.ValidateWrite(w.Key, ts) {
+			for j := range txn.ReadSet {
+				s.RemoveReader(txn.ReadSet[j].Key, ts)
+			}
+			for j := 0; j < i; j++ {
+				s.RemoveWriter(txn.WriteSet[j].Key, ts)
+			}
+			return message.StatusValidatedAbort
+		}
+	}
+
+	return message.StatusValidatedOK
+}
+
+// ApplyCommit performs OCC's write phase for a committed transaction: reads
+// advance each key's rts and writes install new versions at ts (skipped by
+// the Thomas write rule when a newer version already exists). Pending
+// registrations from a prior successful Validate are cleared as a side
+// effect; it is also safe to call for transactions this replica never
+// validated (e.g. learned through an epoch change), since clearing a
+// registration that does not exist is a no-op and version installs are
+// idempotent.
+func ApplyCommit(s *vstore.Store, txn *message.Txn, ts timestamp.Timestamp) {
+	for i := range txn.ReadSet {
+		s.CommitRead(txn.ReadSet[i].Key, ts)
+	}
+	for i := range txn.WriteSet {
+		s.CommitWrite(txn.WriteSet[i].Key, txn.WriteSet[i].Value, ts)
+	}
+}
+
+// ApplyAbort backs out the pending registrations left by a successful
+// Validate for a transaction that ultimately aborted. Call it only when this
+// replica's validation returned StatusValidatedOK (a failed Validate cleans
+// up after itself).
+func ApplyAbort(s *vstore.Store, txn *message.Txn, ts timestamp.Timestamp) {
+	for i := range txn.ReadSet {
+		s.RemoveReader(txn.ReadSet[i].Key, ts)
+	}
+	for i := range txn.WriteSet {
+		s.RemoveWriter(txn.WriteSet[i].Key, ts)
+	}
+}

@@ -1,0 +1,380 @@
+package occ
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/vstore"
+)
+
+func ts(t int64) timestamp.Timestamp { return timestamp.Timestamp{Time: t, ClientID: 1} }
+
+func tsc(t int64, c uint64) timestamp.Timestamp { return timestamp.Timestamp{Time: t, ClientID: c} }
+
+func newStore() *vstore.Store {
+	s := vstore.New(vstore.Config{})
+	s.Load("a", []byte("a0"), ts(1))
+	s.Load("b", []byte("b0"), ts(1))
+	s.Load("c", []byte("c0"), ts(1))
+	return s
+}
+
+func rmw(key string, readWTS timestamp.Timestamp, val string) *message.Txn {
+	return &message.Txn{
+		ID:       timestamp.TxnID{Seq: 1, ClientID: 1},
+		ReadSet:  []message.ReadSetEntry{{Key: key, WTS: readWTS}},
+		WriteSet: []message.WriteSetEntry{{Key: key, Value: []byte(val)}},
+	}
+}
+
+func TestValidateCleanRMW(t *testing.T) {
+	s := newStore()
+	txn := rmw("a", ts(1), "a1")
+	if got := Validate(s, txn, ts(10)); got != message.StatusValidatedOK {
+		t.Fatalf("Validate = %v", got)
+	}
+	r, w := s.Pending("a")
+	if r != 1 || w != 1 {
+		t.Fatalf("pending = (%d,%d), want (1,1)", r, w)
+	}
+	ApplyCommit(s, txn, ts(10))
+	r, w = s.Pending("a")
+	if r != 0 || w != 0 {
+		t.Fatalf("pending after commit = (%d,%d)", r, w)
+	}
+	v, _ := s.Read("a")
+	if string(v.Value) != "a1" || v.WTS != ts(10) {
+		t.Fatalf("read %+v after commit", v)
+	}
+	wts, rts := s.Meta("a")
+	if wts != ts(10) || rts != ts(10) {
+		t.Fatalf("meta = (%v,%v)", wts, rts)
+	}
+}
+
+func TestValidateStaleReadAborts(t *testing.T) {
+	s := newStore()
+	s.CommitWrite("a", []byte("a9"), ts(9))
+	txn := rmw("a", ts(1), "a1") // read version 1, but 9 is committed
+	if got := Validate(s, txn, ts(10)); got != message.StatusValidatedAbort {
+		t.Fatalf("Validate = %v, want abort", got)
+	}
+	r, w := s.Pending("a")
+	if r != 0 || w != 0 {
+		t.Fatalf("abort leaked pending state: (%d,%d)", r, w)
+	}
+}
+
+func TestValidateReadAbortCleansEarlierReads(t *testing.T) {
+	s := newStore()
+	s.CommitWrite("b", []byte("b9"), ts(9))
+	txn := &message.Txn{
+		ID: timestamp.TxnID{Seq: 1, ClientID: 1},
+		ReadSet: []message.ReadSetEntry{
+			{Key: "a", WTS: ts(1)}, // fine
+			{Key: "b", WTS: ts(1)}, // stale -> abort
+		},
+	}
+	if got := Validate(s, txn, ts(10)); got != message.StatusValidatedAbort {
+		t.Fatalf("Validate = %v", got)
+	}
+	if r, _ := s.Pending("a"); r != 0 {
+		t.Fatal("reader for 'a' not backed out")
+	}
+}
+
+func TestValidateWriteAbortCleansEverything(t *testing.T) {
+	s := newStore()
+	s.CommitRead("c", ts(20)) // rts of c = 20 blocks writes below
+	txn := &message.Txn{
+		ID:      timestamp.TxnID{Seq: 1, ClientID: 1},
+		ReadSet: []message.ReadSetEntry{{Key: "a", WTS: ts(1)}},
+		WriteSet: []message.WriteSetEntry{
+			{Key: "b", Value: []byte("b1")}, // fine
+			{Key: "c", Value: []byte("c1")}, // ts 10 < rts 20 -> abort
+		},
+	}
+	if got := Validate(s, txn, ts(10)); got != message.StatusValidatedAbort {
+		t.Fatalf("Validate = %v", got)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		r, w := s.Pending(k)
+		if r != 0 || w != 0 {
+			t.Fatalf("key %q leaked pending state (%d,%d)", k, r, w)
+		}
+	}
+}
+
+func TestPairwiseConflictDetection(t *testing.T) {
+	// The serializability argument (§5.4) rests on this: of two conflicting
+	// transactions, whichever validates second at a given replica aborts.
+	s := newStore()
+	t1 := rmw("a", ts(1), "t1")
+	t1.ID = timestamp.TxnID{Seq: 1, ClientID: 1}
+	t2 := rmw("a", ts(1), "t2")
+	t2.ID = timestamp.TxnID{Seq: 1, ClientID: 2}
+
+	if Validate(s, t1, tsc(10, 1)) != message.StatusValidatedOK {
+		t.Fatal("t1 failed validation")
+	}
+	// t2 read version 1 and proposes ts 12 > pending writer 10: read check
+	// fails (pending writer below ts).
+	if Validate(s, t2, tsc(12, 2)) != message.StatusValidatedAbort {
+		t.Fatal("t2 passed validation despite conflict with pending t1")
+	}
+	ApplyCommit(s, t1, tsc(10, 1))
+}
+
+func TestWriteSkewBlocked(t *testing.T) {
+	// Classic write skew: T1 reads a writes b, T2 reads b writes a,
+	// concurrently. At a single replica, at most one may validate.
+	s := newStore()
+	t1 := &message.Txn{
+		ID:       timestamp.TxnID{Seq: 1, ClientID: 1},
+		ReadSet:  []message.ReadSetEntry{{Key: "a", WTS: ts(1)}},
+		WriteSet: []message.WriteSetEntry{{Key: "b", Value: []byte("1")}},
+	}
+	t2 := &message.Txn{
+		ID:       timestamp.TxnID{Seq: 1, ClientID: 2},
+		ReadSet:  []message.ReadSetEntry{{Key: "b", WTS: ts(1)}},
+		WriteSet: []message.WriteSetEntry{{Key: "a", Value: []byte("2")}},
+	}
+	s1 := Validate(s, t1, tsc(10, 1))
+	s2 := Validate(s, t2, tsc(11, 2))
+	if s1 == message.StatusValidatedOK && s2 == message.StatusValidatedOK {
+		t.Fatal("both write-skew transactions validated at one replica")
+	}
+}
+
+func TestReadOnlyBelowPendingWriterCommits(t *testing.T) {
+	// Versioned storage lets a read at an earlier timestamp commit despite
+	// a pending later write (§3, "versioned backing storage").
+	s := newStore()
+	w := rmw("a", ts(1), "later")
+	if Validate(s, w, ts(100)) != message.StatusValidatedOK {
+		t.Fatal("writer failed validation")
+	}
+	ro := &message.Txn{
+		ID:      timestamp.TxnID{Seq: 2, ClientID: 2},
+		ReadSet: []message.ReadSetEntry{{Key: "a", WTS: ts(1)}},
+	}
+	if Validate(s, ro, tsc(50, 2)) != message.StatusValidatedOK {
+		t.Fatal("read below pending writer did not validate")
+	}
+	ApplyCommit(s, ro, tsc(50, 2))
+	ApplyCommit(s, w, ts(100))
+}
+
+func TestApplyAbortBacksOutRegistrations(t *testing.T) {
+	s := newStore()
+	txn := rmw("a", ts(1), "v")
+	if Validate(s, txn, ts(10)) != message.StatusValidatedOK {
+		t.Fatal("validate failed")
+	}
+	ApplyAbort(s, txn, ts(10))
+	r, w := s.Pending("a")
+	if r != 0 || w != 0 {
+		t.Fatalf("pending = (%d,%d) after ApplyAbort", r, w)
+	}
+	// The aborted write must not be visible.
+	v, _ := s.Read("a")
+	if string(v.Value) != "a0" {
+		t.Fatalf("aborted write visible: %q", v.Value)
+	}
+}
+
+func TestApplyCommitForUnvalidatedTxnIsSafe(t *testing.T) {
+	// A replica that learns a commit via epoch change applies it without
+	// ever having validated it locally.
+	s := newStore()
+	txn := rmw("a", ts(1), "sync")
+	ApplyCommit(s, txn, ts(10))
+	v, _ := s.Read("a")
+	if string(v.Value) != "sync" {
+		t.Fatalf("got %q", v.Value)
+	}
+	// Applying twice is idempotent (Thomas rule).
+	ApplyCommit(s, txn, ts(10))
+	if got := len(s.Versions("a")); got != 2 { // v@1 and v@10
+		t.Fatalf("version chain length %d", got)
+	}
+}
+
+func TestBlindWriteNoReads(t *testing.T) {
+	s := newStore()
+	txn := &message.Txn{
+		ID:       timestamp.TxnID{Seq: 1, ClientID: 1},
+		WriteSet: []message.WriteSetEntry{{Key: "a", Value: []byte("blind")}},
+	}
+	if Validate(s, txn, ts(10)) != message.StatusValidatedOK {
+		t.Fatal("blind write failed validation")
+	}
+	ApplyCommit(s, txn, ts(10))
+	v, _ := s.Read("a")
+	if string(v.Value) != "blind" {
+		t.Fatalf("got %q", v.Value)
+	}
+}
+
+func TestConcurrentValidationSerializable(t *testing.T) {
+	// Hammer a small key space with concurrent RMWs through the full
+	// Validate/Apply cycle and then check the committed history is
+	// serializable in timestamp order: replaying committed transactions
+	// sorted by ts must reproduce each transaction's observed reads.
+	s := vstore.New(vstore.Config{MaxVersions: -1})
+	const keys = 4
+	for i := 0; i < keys; i++ {
+		s.Load(fmt.Sprintf("k%d", i), []byte("0"), tsc(0, 0))
+	}
+
+	type committed struct {
+		txn *message.Txn
+		ts  timestamp.Timestamp
+	}
+	var mu sync.Mutex
+	var history []committed
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(keys))
+				v, _ := s.Read(key)
+				tsv := timestamp.Timestamp{Time: int64(w*1000000 + i*100 + rng.Intn(50)), ClientID: uint64(w + 1)}
+				txn := &message.Txn{
+					ID:       timestamp.TxnID{Seq: uint64(i), ClientID: uint64(w + 1)},
+					ReadSet:  []message.ReadSetEntry{{Key: key, WTS: v.WTS}},
+					WriteSet: []message.WriteSetEntry{{Key: key, Value: []byte(fmt.Sprintf("w%d-i%d", w, i))}},
+				}
+				if Validate(s, txn, tsv) == message.StatusValidatedOK {
+					ApplyCommit(s, txn, tsv)
+					mu.Lock()
+					history = append(history, committed{txn, tsv})
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Serial replay in timestamp order.
+	sort.Slice(history, func(i, j int) bool { return history[i].ts.Less(history[j].ts) })
+	state := map[string]timestamp.Timestamp{} // key -> wts of latest write in replay
+	for _, h := range history {
+		for _, r := range h.txn.ReadSet {
+			if got := state[r.Key]; got != r.WTS {
+				t.Fatalf("txn %v at %v read %q@%v, but serial replay has %v",
+					h.txn.ID, h.ts, r.Key, r.WTS, got)
+			}
+		}
+		for _, w := range h.txn.WriteSet {
+			state[w.Key] = h.ts
+		}
+	}
+	if len(history) == 0 {
+		t.Fatal("no transactions committed")
+	}
+}
+
+func BenchmarkValidateApplyRMW(b *testing.B) {
+	s := vstore.New(vstore.Config{})
+	const n = 1 << 16
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		s.Load(keys[i], []byte("v"), tsc(1, 0))
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		i := 0
+		for pb.Next() {
+			k := keys[rng.Intn(n)]
+			v, _ := s.Read(k)
+			tsv := timestamp.Timestamp{Time: int64(i + 2), ClientID: uint64(rng.Uint64())}
+			txn := &message.Txn{
+				ReadSet:  []message.ReadSetEntry{{Key: k, WTS: v.WTS}},
+				WriteSet: []message.WriteSetEntry{{Key: k, Value: []byte("v")}},
+			}
+			if Validate(s, txn, tsv) == message.StatusValidatedOK {
+				ApplyCommit(s, txn, tsv)
+			}
+			i++
+		}
+	})
+}
+
+func TestQuickPairwiseConflictProperty(t *testing.T) {
+	// Property (the heart of §5.4's correctness argument): for any pair of
+	// transactions with overlapping access sets where at least one writes
+	// the overlap, sequential validation at a single store never admits
+	// both at timestamps that would break timestamp-order serializability.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := vstore.New(vstore.Config{Shards: 16})
+		keys := []string{"a", "b", "c"}
+		for _, k := range keys {
+			s.Load(k, []byte("0"), tsc(1, 0))
+		}
+		mk := func(cid uint64) (*message.Txn, timestamp.Timestamp) {
+			txn := &message.Txn{ID: timestamp.TxnID{Seq: 1, ClientID: cid}}
+			for _, k := range keys {
+				if rng.Intn(2) == 0 {
+					v, _ := s.Read(k)
+					txn.ReadSet = append(txn.ReadSet, message.ReadSetEntry{Key: k, WTS: v.WTS})
+				}
+				if rng.Intn(2) == 0 {
+					txn.WriteSet = append(txn.WriteSet, message.WriteSetEntry{Key: k, Value: []byte("x")})
+				}
+			}
+			return txn, timestamp.Timestamp{Time: int64(10 + rng.Intn(10)), ClientID: cid}
+		}
+		t1, ts1 := mk(1)
+		t2, ts2 := mk(2)
+
+		st1 := Validate(s, t1, ts1)
+		st2 := Validate(s, t2, ts2)
+		if st1 == message.StatusValidatedOK {
+			ApplyCommit(s, t1, ts1)
+		}
+		if st2 == message.StatusValidatedOK {
+			ApplyCommit(s, t2, ts2)
+		}
+		if st1 != message.StatusValidatedOK || st2 != message.StatusValidatedOK {
+			return true // at most one admitted: nothing to check
+		}
+		// Both admitted: they must be serializable in timestamp order.
+		// Check the later transaction's reads against the earlier's writes:
+		// if the later read a key the earlier wrote, it must have read the
+		// earlier's version or the earlier's write must order after it.
+		first, firstTS, second, secondTS := t1, ts1, t2, ts2
+		if ts2.Less(ts1) {
+			first, firstTS, second, secondTS = t2, ts2, t1, ts1
+		}
+		_ = secondTS
+		for _, w := range first.WriteSet {
+			for _, r := range second.ReadSet {
+				if w.Key == r.Key && r.WTS.Less(firstTS) {
+					// Second read an older version but serializes after
+					// first's write — only admissible if second validated
+					// BEFORE first registered, which sequential validation
+					// forbids. Violation.
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

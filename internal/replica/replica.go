@@ -1,0 +1,589 @@
+// Package replica implements a Meerkat multicore transactional database
+// instance (§4.1): the three-layer system of versioned storage, concurrency
+// control, and replication that runs on every replica server.
+//
+// Each replica runs Cores server threads. Every core owns one transport
+// endpoint (its "NIC queue") and one trecord partition; because a core's
+// handler runs only on its endpoint's delivery goroutine, the partition
+// needs no locks. Transactions are steered to a core by the coordinator's
+// chosen core id, reproducing the paper's Receive-Side Scaling trick, so all
+// messages for one transaction are handled by one core.
+//
+// The SharedRecord option replaces the per-core partitions with a single
+// mutex-protected record per replica — exactly the cross-core coordination
+// point of the paper's TAPIR-like baseline — leaving every other code path
+// identical, which is what makes the Meerkat/TAPIR comparison an ablation of
+// the trecord design alone.
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meerkat/internal/coordinator"
+	"meerkat/internal/message"
+	"meerkat/internal/occ"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/topo"
+	"meerkat/internal/transport"
+	"meerkat/internal/trecord"
+	"meerkat/internal/vstore"
+)
+
+// RecovererCore is the core number used for a replica's backup-coordinator
+// endpoint; it is outside the range of real server threads.
+const RecovererCore = 1 << 20
+
+// Config parameterizes a replica.
+type Config struct {
+	Topo      topo.Topology
+	Partition int // which partition group this replica belongs to
+	Index     int // replica index within the group, 0..Replicas-1
+	Net       transport.Network
+
+	// Store, when non-nil, is used as the versioned storage layer
+	// (pre-loaded databases, tests); otherwise an empty store is created.
+	Store *vstore.Store
+
+	// SharedRecord selects the TAPIR-like baseline: one transaction
+	// record per replica, shared across cores behind a mutex.
+	SharedRecord bool
+
+	// SweepInterval enables the backup-coordinator sweeper: every
+	// interval, each core scans its records for transactions stalled
+	// longer than StaleAfter and completes them through coordinator
+	// recovery. Zero disables sweeping.
+	SweepInterval time.Duration
+	// StaleAfter is how long a non-final record may sit before the
+	// sweeper considers its coordinator failed. Defaults to 5x
+	// SweepInterval.
+	StaleAfter time.Duration
+	// RecoveryTimeout/RecoveryRetries parameterize the recovery runs this
+	// replica initiates.
+	RecoveryTimeout time.Duration
+	RecoveryRetries int
+
+	// CompactOnEpochChange trims finalized records from the trecord after
+	// an epoch change installs the merged (all-final) trecord — the
+	// checkpoint trimming of §5.3.1. Retries of trimmed transactions can
+	// no longer be answered from the record, so enable it only when
+	// clients give up well within an epoch.
+	CompactOnEpochChange bool
+}
+
+// Replica is one Meerkat database instance.
+type Replica struct {
+	cfg    Config
+	store  *vstore.Store
+	cores  []*core
+	shared *trecord.Shared // non-nil iff cfg.SharedRecord
+	epoch  atomic.Uint64
+
+	recoverer *coordinator.Recoverer
+	recMu     sync.Mutex // serializes recovery runs initiated here
+
+	started bool
+	stopped atomic.Bool
+}
+
+// core is one server thread: an endpoint, a trecord partition, and the
+// message handlers. All fields past ep are owned by the delivery goroutine.
+type core struct {
+	r  *Replica
+	id uint32
+	// ep is published atomically: a transport's delivery goroutine may
+	// invoke the handler before Listen returns to Start.
+	ep     atomic.Pointer[transport.Endpoint]
+	part   *trecord.Partition // used only when !SharedRecord
+	paused bool
+
+	sweepStop chan struct{}
+}
+
+// send transmits m from this core's endpoint, dropping it if the endpoint
+// is not yet published (a message raced the bind; the sender will retry).
+func (c *core) send(dst message.Addr, m *message.Message) {
+	if ep := c.ep.Load(); ep != nil {
+		(*ep).Send(dst, m)
+	}
+}
+
+// New creates a replica. Call Start to bind its endpoints.
+func New(cfg Config) (*Replica, error) {
+	if !cfg.Topo.Validate() {
+		return nil, fmt.Errorf("replica: invalid topology %+v", cfg.Topo)
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.Topo.Replicas {
+		return nil, fmt.Errorf("replica: index %d out of range", cfg.Index)
+	}
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = 5 * cfg.SweepInterval
+	}
+	st := cfg.Store
+	if st == nil {
+		st = vstore.New(vstore.Config{})
+	}
+	r := &Replica{cfg: cfg, store: st}
+	if cfg.SharedRecord {
+		r.shared = trecord.NewShared()
+	}
+	for c := 0; c < cfg.Topo.Cores; c++ {
+		cc := &core{r: r, id: uint32(c)}
+		if !cfg.SharedRecord {
+			cc.part = trecord.NewPartition()
+		}
+		r.cores = append(r.cores, cc)
+	}
+	return r, nil
+}
+
+// Store returns the replica's versioned storage layer, for pre-loading and
+// verification.
+func (r *Replica) Store() *vstore.Store { return r.store }
+
+// Node returns the replica's node id.
+func (r *Replica) Node() uint32 {
+	return r.cfg.Topo.ReplicaNode(r.cfg.Partition, r.cfg.Index)
+}
+
+// Epoch returns the replica's current epoch number.
+func (r *Replica) Epoch() uint64 { return r.epoch.Load() }
+
+// Records returns the total number of transaction records currently held
+// across all cores. The per-core partitions are unsynchronized, so call it
+// only while the replica is quiescent (tests and diagnostics).
+func (r *Replica) Records() int {
+	if r.shared != nil {
+		return r.shared.Len()
+	}
+	n := 0
+	for _, c := range r.cores {
+		n += c.part.Len()
+	}
+	return n
+}
+
+// Start binds one endpoint per core and starts sweepers if configured.
+func (r *Replica) Start() error {
+	if r.started {
+		return fmt.Errorf("replica: already started")
+	}
+	r.started = true
+	for _, c := range r.cores {
+		addr := message.Addr{Node: r.Node(), Core: c.id}
+		ep, err := r.cfg.Net.Listen(addr, c.handle)
+		if err != nil {
+			r.Stop()
+			return err
+		}
+		c.ep.Store(&ep)
+	}
+	if r.cfg.SweepInterval > 0 {
+		rec, err := coordinator.NewRecoverer(
+			r.cfg.Net, r.cfg.Topo,
+			message.Addr{Node: r.Node(), Core: RecovererCore},
+			uint64(r.cfg.Index),
+			r.cfg.RecoveryTimeout, r.cfg.RecoveryRetries,
+		)
+		if err != nil {
+			r.Stop()
+			return err
+		}
+		r.recoverer = rec
+		for _, c := range r.cores {
+			c.sweepStop = make(chan struct{})
+			go c.sweepLoop()
+		}
+	}
+	return nil
+}
+
+// Stop closes all endpoints and stops sweepers. The replica cannot be
+// restarted; create a new one (recovering replicas restart without state,
+// per §5.3.1).
+func (r *Replica) Stop() {
+	if r.stopped.Swap(true) {
+		return
+	}
+	for _, c := range r.cores {
+		if c.sweepStop != nil {
+			close(c.sweepStop)
+		}
+		if ep := c.ep.Load(); ep != nil {
+			(*ep).Close()
+		}
+	}
+	if r.recoverer != nil {
+		r.recoverer.Close()
+	}
+}
+
+// withRecords runs fn against the record table a transaction on this core
+// belongs to: the core-private partition (Meerkat) or the shared record
+// behind its mutex (TAPIR-like).
+func (c *core) withRecords(fn func(p *trecord.Partition)) {
+	if c.part != nil {
+		fn(c.part)
+		return
+	}
+	c.r.shared.Do(fn)
+}
+
+// handle dispatches one inbound message. It runs on the core's delivery
+// goroutine.
+func (c *core) handle(m *message.Message) {
+	switch m.Type {
+	case message.TypeRead:
+		c.handleRead(m)
+	case message.TypeValidate:
+		c.handleValidate(m)
+	case message.TypeAccept:
+		c.handleAccept(m)
+	case message.TypeCommit:
+		c.handleCommit(m)
+	case message.TypeCoordChange:
+		c.handleCoordChange(m)
+	case message.TypeEpochChange:
+		c.handleEpochChange(m)
+	case message.TypeEpochChangeComplete:
+		c.handleEpochChangeComplete(m)
+	case message.TypeStateRequest:
+		c.handleStateRequest(m)
+	case message.TypeSweep:
+		c.handleSweep()
+	}
+}
+
+// handleStateRequest serves one shard of the versioned store to a
+// recovering replica (state transfer, §5.3.1). The requester paginates by
+// shard index in Seq; OK reports whether more shards remain.
+func (c *core) handleStateRequest(m *message.Message) {
+	shard := int(m.Seq)
+	var state []message.KeyState
+	for _, ks := range c.r.store.ExportShard(shard) {
+		state = append(state, message.KeyState{
+			Key: ks.Key, Value: ks.Value, WTS: ks.WTS, RTS: ks.RTS,
+		})
+	}
+	c.send(m.Src, &message.Message{
+		Type:      message.TypeStateReply,
+		Seq:       m.Seq,
+		OK:        shard+1 < c.r.store.NumShards(),
+		State:     state,
+		ReplicaID: uint32(c.r.cfg.Index),
+	})
+}
+
+// handleRead serves an execution-phase read from the versioned store. Reads
+// never touch the trecord, so any core of any replica can serve them.
+func (c *core) handleRead(m *message.Message) {
+	v, ok := c.r.store.Read(m.Key)
+	c.send(m.Src, &message.Message{
+		Type: message.TypeReadReply,
+		Key:  m.Key, Seq: m.Seq,
+		Value: v.Value, TS: v.WTS, OK: ok,
+		ReplicaID: uint32(c.r.cfg.Index),
+	})
+}
+
+// handleValidate runs step 2 of the commit protocol: create the trecord
+// entry and perform the OCC checks of Algorithm 1.
+func (c *core) handleValidate(m *message.Message) {
+	if c.paused {
+		return // epoch change in progress; the coordinator will retry
+	}
+	var reply *message.Message
+	c.withRecords(func(p *trecord.Partition) {
+		rec, created := p.GetOrCreate(m.Txn.ID)
+		if !created && rec.Status != message.StatusNone {
+			// Duplicate (a retry): re-reply with the recorded status.
+			reply = c.validateReply(m.Txn.ID, rec.Status, rec.View)
+			return
+		}
+		rec.Txn = m.Txn
+		rec.TS = m.TS
+		rec.CreatedAt = nanotime()
+		st := occ.Validate(c.r.store, &rec.Txn, m.TS)
+		rec.Status = st
+		rec.Registered = st == message.StatusValidatedOK
+		reply = c.validateReply(m.Txn.ID, st, rec.View)
+	})
+	if reply != nil {
+		c.send(m.Src, reply)
+	}
+}
+
+func (c *core) validateReply(tid timestamp.TxnID, st message.Status, view uint64) *message.Message {
+	return &message.Message{
+		Type: message.TypeValidateReply,
+		TID:  tid, Status: st, View: view,
+		ReplicaID: uint32(c.r.cfg.Index),
+	}
+}
+
+// handleAccept runs the replica side of the slow path (step 5), which
+// doubles as the accept phase of coordinator recovery: adopt the proposed
+// outcome unless a higher view has been promised.
+func (c *core) handleAccept(m *message.Message) {
+	if c.paused {
+		return
+	}
+	var reply *message.Message
+	c.withRecords(func(p *trecord.Partition) {
+		rec, created := p.GetOrCreate(m.TID)
+		if created {
+			rec.CreatedAt = nanotime()
+		}
+		// A replica that missed the validate learns the transaction body
+		// from the accept, so it can apply the write phase on commit.
+		if len(rec.Txn.ReadSet) == 0 && len(rec.Txn.WriteSet) == 0 &&
+			(len(m.Txn.ReadSet) > 0 || len(m.Txn.WriteSet) > 0) {
+			rec.Txn = m.Txn
+			rec.TS = m.TS
+		}
+		if rec.Status.Final() {
+			// Already decided; ack so the (backup) coordinator finishes.
+			// Consistency is guaranteed: all coordinators reach the same
+			// decision (§5.3.2).
+			reply = &message.Message{
+				Type: message.TypeAcceptReply, TID: m.TID, OK: true,
+				View: m.View, ReplicaID: uint32(c.r.cfg.Index),
+			}
+			return
+		}
+		if m.View < rec.View {
+			reply = &message.Message{
+				Type: message.TypeAcceptReply, TID: m.TID, OK: false,
+				View: rec.View, ReplicaID: uint32(c.r.cfg.Index),
+			}
+			return
+		}
+		rec.View = m.View
+		rec.AcceptView = m.View
+		rec.Status = m.Status // ACCEPT-COMMIT or ACCEPT-ABORT
+		reply = &message.Message{
+			Type: message.TypeAcceptReply, TID: m.TID, OK: true,
+			View: m.View, ReplicaID: uint32(c.r.cfg.Index),
+		}
+	})
+	c.send(m.Src, reply)
+}
+
+// handleCommit runs the write phase (§5.2.3): finalize the record and apply
+// or back out its effects.
+func (c *core) handleCommit(m *message.Message) {
+	if c.paused {
+		return // the epoch-change merge will finalize it consistently
+	}
+	c.withRecords(func(p *trecord.Partition) {
+		rec := p.Get(m.TID)
+		if rec == nil {
+			// This replica never saw the transaction (dropped validate);
+			// it will learn the outcome during the next epoch change.
+			return
+		}
+		finalizeRecord(c.r.store, rec, m.Status)
+	})
+}
+
+// finalizeRecord moves rec to final status st and applies the write phase.
+// Idempotent: a record already final is left untouched.
+func finalizeRecord(store *vstore.Store, rec *trecord.Record, st message.Status) {
+	if rec.Status.Final() {
+		return
+	}
+	wasRegistered := rec.Registered
+	rec.Registered = false
+	rec.Status = st
+	if st == message.StatusCommitted {
+		occ.ApplyCommit(store, &rec.Txn, rec.TS)
+	} else if wasRegistered {
+		occ.ApplyAbort(store, &rec.Txn, rec.TS)
+	}
+}
+
+// handleCoordChange is the prepare-like phase of coordinator recovery: if
+// the proposed view is newer than any this replica has seen for the
+// transaction, promise it and report the transaction's record.
+func (c *core) handleCoordChange(m *message.Message) {
+	if c.paused {
+		return
+	}
+	var reply *message.Message
+	c.withRecords(func(p *trecord.Partition) {
+		rec, created := p.GetOrCreate(m.TID)
+		if created {
+			rec.CreatedAt = nanotime()
+		}
+		if m.View <= rec.View {
+			// Only strictly newer views supersede. View 0 belongs to the
+			// original coordinator and needs no coordinator change.
+			reply = &message.Message{
+				Type: message.TypeCoordChangeAck, TID: m.TID, OK: false,
+				View: rec.View, ReplicaID: uint32(c.r.cfg.Index),
+			}
+			return
+		}
+		rec.View = m.View
+		reply = &message.Message{
+			Type: message.TypeCoordChangeAck, TID: m.TID, OK: true,
+			View: m.View, ReplicaID: uint32(c.r.cfg.Index),
+			Records: []message.TRecordEntry{{
+				Txn: rec.Txn, TS: rec.TS, Status: rec.Status,
+				View: rec.View, AcceptView: rec.AcceptView, CoreID: c.id,
+			}},
+		}
+	})
+	c.send(m.Src, reply)
+}
+
+// handleEpochChange pauses the core and ships its trecord partition to the
+// recovery coordinator (§5.3.1).
+func (c *core) handleEpochChange(m *message.Message) {
+	cur := c.r.epoch.Load()
+	if m.Epoch < cur {
+		return // stale epoch change
+	}
+	c.r.epoch.Store(m.Epoch)
+	c.paused = true
+	var snap []message.TRecordEntry
+	c.withRecords(func(p *trecord.Partition) {
+		snap = p.Snapshot(c.id)
+	})
+	c.send(m.Src, &message.Message{
+		Type: message.TypeEpochChangeAck, Epoch: m.Epoch,
+		Records: snap, ReplicaID: uint32(c.r.cfg.Index), CoreID: c.id,
+	})
+}
+
+// handleEpochChangeComplete installs the merged trecord and resumes normal
+// operation. Every entry in the merged trecord is final; local records
+// absent from it are aborted (they did not survive the merge).
+func (c *core) handleEpochChangeComplete(m *message.Message) {
+	if m.Epoch < c.r.epoch.Load() {
+		return
+	}
+	c.r.epoch.Store(m.Epoch)
+	merged := make(map[timestamp.TxnID]bool, len(m.Records))
+	for i := range m.Records {
+		merged[m.Records[i].Txn.ID] = true
+	}
+	c.withRecords(func(p *trecord.Partition) {
+		for i := range m.Records {
+			e := &m.Records[i]
+			// In per-core mode install only this core's slice; in shared
+			// mode the record table is replica-wide, so install all (the
+			// finality guard makes repeats across cores idempotent).
+			if c.part != nil && e.CoreID != c.id {
+				continue
+			}
+			c.install(p, e)
+		}
+		var drop []*trecord.Record
+		p.Range(func(rec *trecord.Record) bool {
+			if !rec.Status.Final() && !merged[rec.Txn.ID] {
+				drop = append(drop, rec)
+			}
+			return true
+		})
+		for _, rec := range drop {
+			finalizeRecord(c.r.store, rec, message.StatusAborted)
+		}
+		if c.r.cfg.CompactOnEpochChange {
+			p.Compact()
+		}
+	})
+	c.paused = false
+	c.send(m.Src, &message.Message{
+		Type: message.TypeEpochChangeCompleteAck, Epoch: m.Epoch,
+		ReplicaID: uint32(c.r.cfg.Index), CoreID: c.id,
+	})
+}
+
+// install merges one final entry from an epoch change into the record table
+// and applies its effects.
+func (c *core) install(p *trecord.Partition, e *message.TRecordEntry) {
+	rec := p.Get(e.Txn.ID)
+	if rec == nil {
+		rec = &trecord.Record{
+			Txn: e.Txn, TS: e.TS,
+			View: e.View, AcceptView: e.AcceptView,
+			CreatedAt: nanotime(),
+		}
+		p.Put(rec)
+		finalizeRecord(c.r.store, rec, e.Status)
+		return
+	}
+	if rec.Status.Final() {
+		return
+	}
+	if len(rec.Txn.ReadSet) == 0 && len(rec.Txn.WriteSet) == 0 {
+		rec.Txn = e.Txn
+		rec.TS = e.TS
+	}
+	rec.View = e.View
+	rec.AcceptView = e.AcceptView
+	finalizeRecord(c.r.store, rec, e.Status)
+}
+
+// sweepLoop periodically injects a sweep message into the core's own queue,
+// so the scan itself runs on the delivery goroutine like everything else.
+func (c *core) sweepLoop() {
+	t := time.NewTicker(c.r.cfg.SweepInterval)
+	defer t.Stop()
+	self := (*c.ep.Load()).Addr() // sweepLoop starts after the bind
+	for {
+		select {
+		case <-c.sweepStop:
+			return
+		case <-t.C:
+			c.send(self, &message.Message{Type: message.TypeSweep})
+		}
+	}
+}
+
+// handleSweep scans for transactions whose coordinator appears to have
+// failed — non-final records older than StaleAfter — and completes each via
+// coordinator recovery (§5.3.2).
+func (c *core) handleSweep() {
+	if c.paused || c.r.recoverer == nil {
+		return
+	}
+	now := nanotime()
+	stale := int64(c.r.cfg.StaleAfter)
+	type job struct {
+		tid  timestamp.TxnID
+		view uint64
+	}
+	var jobs []job
+	c.withRecords(func(p *trecord.Partition) {
+		p.Range(func(rec *trecord.Record) bool {
+			if rec.Status.Final() {
+				return true
+			}
+			if now-rec.CreatedAt < stale || now-rec.LastRecovery < stale {
+				return true
+			}
+			rec.LastRecovery = now
+			jobs = append(jobs, job{tid: rec.Txn.ID, view: rec.View})
+			return true
+		})
+	})
+	for _, j := range jobs {
+		go func(j job) {
+			c.r.recMu.Lock()
+			defer c.r.recMu.Unlock()
+			if c.r.stopped.Load() {
+				return
+			}
+			c.r.recoverer.Recover(c.r.cfg.Partition, j.tid, c.id, j.view)
+		}(j)
+	}
+}
+
+// nanotime returns a monotonic reading for record aging.
+func nanotime() int64 { return time.Since(processStart).Nanoseconds() }
+
+var processStart = time.Now()

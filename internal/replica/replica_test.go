@@ -1,0 +1,412 @@
+package replica_test
+
+import (
+	"testing"
+	"time"
+
+	"meerkat/internal/coordinator"
+	"meerkat/internal/message"
+	"meerkat/internal/replica"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/topo"
+	"meerkat/internal/transport"
+)
+
+type harness struct {
+	t    *testing.T
+	topo topo.Topology
+	net  *transport.Inproc
+	reps []*replica.Replica
+	ep   transport.Endpoint
+	in   *transport.Inbox
+}
+
+func newHarness(t *testing.T, shared bool, sweep time.Duration) *harness {
+	t.Helper()
+	tp := topo.Topology{Partitions: 1, Replicas: 3, Cores: 2}
+	h := &harness{t: t, topo: tp, net: transport.NewInproc(transport.InprocConfig{})}
+	for i := 0; i < 3; i++ {
+		rep, err := replica.New(replica.Config{
+			Topo: tp, Partition: 0, Index: i, Net: h.net,
+			SharedRecord:  shared,
+			SweepInterval: sweep,
+			StaleAfter:    2 * sweep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		h.reps = append(h.reps, rep)
+	}
+	h.in = transport.NewInbox(64)
+	ep, err := h.net.Listen(message.Addr{Node: topo.ClientNodeBase + 99, Core: 0}, h.in.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ep = ep
+	t.Cleanup(func() {
+		for _, r := range h.reps {
+			r.Stop()
+		}
+		h.net.Close()
+	})
+	return h
+}
+
+func (h *harness) send(rep int, m *message.Message) {
+	h.t.Helper()
+	if err := h.ep.Send(h.topo.ReplicaAddr(0, rep, m.CoreID), m); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+func (h *harness) recv(want message.Type) *message.Message {
+	h.t.Helper()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case m := <-h.in.C:
+			if m.Type == want {
+				return m
+			}
+		case <-deadline:
+			h.t.Fatalf("timed out waiting for %v", want)
+		}
+	}
+}
+
+func ts(t int64, c uint64) timestamp.Timestamp { return timestamp.Timestamp{Time: t, ClientID: c} }
+
+func rmwTxn(seq, client uint64, key, val string, readWTS timestamp.Timestamp) message.Txn {
+	return message.Txn{
+		ID:       timestamp.TxnID{Seq: seq, ClientID: client},
+		ReadSet:  []message.ReadSetEntry{{Key: key, WTS: readWTS}},
+		WriteSet: []message.WriteSetEntry{{Key: key, Value: []byte(val)}},
+	}
+}
+
+func TestValidateReplyAndIdempotence(t *testing.T) {
+	h := newHarness(t, false, 0)
+	txn := rmwTxn(1, 1, "k", "v", timestamp.Zero)
+	val := &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 0}
+
+	h.send(0, val)
+	r1 := h.recv(message.TypeValidateReply)
+	if r1.Status != message.StatusValidatedOK || r1.TID != txn.ID {
+		t.Fatalf("reply %+v", r1)
+	}
+	// A retry must re-reply with the recorded status, not re-validate.
+	h.send(0, val)
+	r2 := h.recv(message.TypeValidateReply)
+	if r2.Status != message.StatusValidatedOK {
+		t.Fatalf("duplicate validate reply %+v", r2)
+	}
+}
+
+func TestConflictingValidateAborts(t *testing.T) {
+	h := newHarness(t, false, 0)
+	t1 := rmwTxn(1, 1, "k", "a", timestamp.Zero)
+	t2 := rmwTxn(1, 2, "k", "b", timestamp.Zero)
+
+	h.send(0, &message.Message{Type: message.TypeValidate, Txn: t1, TID: t1.ID, TS: ts(10, 1), CoreID: 0})
+	if r := h.recv(message.TypeValidateReply); r.Status != message.StatusValidatedOK {
+		t.Fatalf("t1: %+v", r)
+	}
+	// t2 reads version Zero but proposes ts above t1's pending write.
+	h.send(0, &message.Message{Type: message.TypeValidate, Txn: t2, TID: t2.ID, TS: ts(20, 2), CoreID: 0})
+	if r := h.recv(message.TypeValidateReply); r.Status != message.StatusValidatedAbort {
+		t.Fatalf("t2: %+v", r)
+	}
+}
+
+func TestCommitAppliesWrites(t *testing.T) {
+	h := newHarness(t, false, 0)
+	txn := rmwTxn(1, 1, "k", "v", timestamp.Zero)
+	h.send(0, &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 0})
+	h.recv(message.TypeValidateReply)
+	h.send(0, &message.Message{Type: message.TypeCommit, TID: txn.ID, Status: message.StatusCommitted, CoreID: 0})
+
+	deadline := time.Now().Add(time.Second)
+	for {
+		if v, ok := h.reps[0].Store().Read("k"); ok && string(v.Value) == "v" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("commit never applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Duplicate commit and commit for an unknown txn are ignored.
+	h.send(0, &message.Message{Type: message.TypeCommit, TID: txn.ID, Status: message.StatusCommitted, CoreID: 0})
+	h.send(0, &message.Message{Type: message.TypeCommit, TID: timestamp.TxnID{Seq: 99, ClientID: 9}, Status: message.StatusCommitted, CoreID: 0})
+	time.Sleep(10 * time.Millisecond)
+	if vs := h.reps[0].Store().Versions("k"); len(vs) != 1 {
+		t.Fatalf("duplicate commit re-applied: %d versions", len(vs))
+	}
+}
+
+func TestAbortCleansPendingState(t *testing.T) {
+	h := newHarness(t, false, 0)
+	txn := rmwTxn(1, 1, "k", "v", timestamp.Zero)
+	h.send(0, &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 0})
+	h.recv(message.TypeValidateReply)
+	h.send(0, &message.Message{Type: message.TypeCommit, TID: txn.ID, Status: message.StatusAborted, CoreID: 0})
+	deadline := time.Now().Add(time.Second)
+	for {
+		r, w := h.reps[0].Store().Pending("k")
+		if r == 0 && w == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending state leaked: (%d,%d)", r, w)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := h.reps[0].Store().Read("k"); ok {
+		t.Fatal("aborted write visible")
+	}
+}
+
+func TestCoordChangeViewFencing(t *testing.T) {
+	h := newHarness(t, false, 0)
+	tid := timestamp.TxnID{Seq: 1, ClientID: 1}
+
+	// View 5 promised.
+	h.send(0, &message.Message{Type: message.TypeCoordChange, TID: tid, View: 5, CoreID: 0})
+	ack := h.recv(message.TypeCoordChangeAck)
+	if !ack.OK || ack.View != 5 || len(ack.Records) != 1 {
+		t.Fatalf("ack %+v", ack)
+	}
+	// Lower view rejected, reports current view.
+	h.send(0, &message.Message{Type: message.TypeCoordChange, TID: tid, View: 3, CoreID: 0})
+	nack := h.recv(message.TypeCoordChangeAck)
+	if nack.OK || nack.View != 5 {
+		t.Fatalf("nack %+v", nack)
+	}
+	// Accept with a stale view rejected.
+	h.send(0, &message.Message{Type: message.TypeAccept, TID: tid, Status: message.StatusAcceptCommit, View: 3, CoreID: 0})
+	arep := h.recv(message.TypeAcceptReply)
+	if arep.OK {
+		t.Fatalf("stale accept accepted: %+v", arep)
+	}
+	// Accept at the promised view succeeds.
+	h.send(0, &message.Message{Type: message.TypeAccept, TID: tid, Status: message.StatusAcceptCommit, View: 5, CoreID: 0})
+	arep = h.recv(message.TypeAcceptReply)
+	if !arep.OK || arep.View != 5 {
+		t.Fatalf("accept at promised view: %+v", arep)
+	}
+}
+
+func TestEpochChangePausesValidation(t *testing.T) {
+	h := newHarness(t, false, 0)
+	// Pause core 0 of replica 0.
+	h.send(0, &message.Message{Type: message.TypeEpochChange, Epoch: 1, CoreID: 0})
+	ack := h.recv(message.TypeEpochChangeAck)
+	if ack.Epoch != 1 {
+		t.Fatalf("ack %+v", ack)
+	}
+	// Validation on the paused core is dropped (no reply).
+	txn := rmwTxn(1, 1, "k", "v", timestamp.Zero)
+	h.send(0, &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 0})
+	select {
+	case m := <-h.in.C:
+		if m.Type == message.TypeValidateReply {
+			t.Fatalf("paused core validated: %+v", m)
+		}
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Resume with an empty merged trecord; validation works again.
+	h.send(0, &message.Message{Type: message.TypeEpochChangeComplete, Epoch: 1, CoreID: 0})
+	h.recv(message.TypeEpochChangeCompleteAck)
+	h.send(0, &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 0})
+	if r := h.recv(message.TypeValidateReply); r.Status != message.StatusValidatedOK {
+		t.Fatalf("post-resume validate: %+v", r)
+	}
+	if h.reps[0].Epoch() != 1 {
+		t.Fatalf("epoch = %d", h.reps[0].Epoch())
+	}
+}
+
+func TestBackupCoordinatorCompletesOrphan(t *testing.T) {
+	// A coordinator validates on all replicas and vanishes before sending
+	// commit. A Recoverer (backup coordinator) must finish the transaction
+	// with a consistent outcome and unblock the key.
+	h := newHarness(t, false, 0)
+	txn := rmwTxn(1, 1, "k", "v", timestamp.Zero)
+	for rep := 0; rep < 3; rep++ {
+		h.send(rep, &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 0})
+	}
+	for i := 0; i < 3; i++ {
+		h.recv(message.TypeValidateReply)
+	}
+
+	rec, err := coordinator.NewRecoverer(h.net, h.topo,
+		message.Addr{Node: topo.ClientNodeBase + 500, Core: 0}, 2, 100*time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	committed, err := rec.Recover(0, txn.ID, 0, 0)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !committed {
+		t.Fatal("validated-everywhere transaction was aborted by recovery")
+	}
+	// The write must be applied and pending state cleared.
+	deadline := time.Now().Add(time.Second)
+	for {
+		v, ok := h.reps[0].Store().Read("k")
+		r, w := h.reps[0].Store().Pending("k")
+		if ok && string(v.Value) == "v" && r == 0 && w == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovery did not finish cleanly: ok=%v pending=(%d,%d)", ok, r, w)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBackupCoordinatorAbortsUnvalidatedOrphan(t *testing.T) {
+	// The orphan only reached one replica: recovery cannot prove a commit,
+	// so it must abort everywhere.
+	h := newHarness(t, false, 0)
+	txn := rmwTxn(1, 1, "k", "v", timestamp.Zero)
+	h.send(0, &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 0})
+	h.recv(message.TypeValidateReply)
+
+	rec, err := coordinator.NewRecoverer(h.net, h.topo,
+		message.Addr{Node: topo.ClientNodeBase + 500, Core: 0}, 2, 100*time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	committed, err := rec.Recover(0, txn.ID, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed {
+		t.Fatal("under-validated orphan committed")
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		r, w := h.reps[0].Store().Pending("k")
+		if r == 0 && w == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abort did not clean pending state: (%d,%d)", r, w)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConcurrentBackupCoordinatorsAgree(t *testing.T) {
+	// Two backup coordinators race to finish the same orphan: views ensure
+	// both reach the same outcome.
+	h := newHarness(t, false, 0)
+	txn := rmwTxn(1, 1, "k", "v", timestamp.Zero)
+	for rep := 0; rep < 3; rep++ {
+		h.send(rep, &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 0})
+	}
+	for i := 0; i < 3; i++ {
+		h.recv(message.TypeValidateReply)
+	}
+
+	results := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			rec, err := coordinator.NewRecoverer(h.net, h.topo,
+				message.Addr{Node: topo.ClientNodeBase + 600 + uint32(i), Core: 0},
+				uint64(i), 50*time.Millisecond, 10)
+			if err != nil {
+				t.Error(err)
+				results <- false
+				return
+			}
+			defer rec.Close()
+			committed, err := rec.Recover(0, txn.ID, 0, 0)
+			if err != nil {
+				t.Errorf("recover %d: %v", i, err)
+			}
+			results <- committed
+		}(i)
+	}
+	a, b := <-results, <-results
+	if a != b {
+		t.Fatalf("backup coordinators disagreed: %v vs %v", a, b)
+	}
+	if !a {
+		t.Fatal("fully validated transaction aborted")
+	}
+}
+
+func TestSweeperFinishesOrphan(t *testing.T) {
+	// With sweeping enabled, an orphaned transaction is finished by the
+	// replicas themselves, no external recovery needed.
+	h := newHarness(t, false, 20*time.Millisecond)
+	txn := rmwTxn(1, 1, "k", "v", timestamp.Zero)
+	for rep := 0; rep < 3; rep++ {
+		h.send(rep, &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 0})
+	}
+	for i := 0; i < 3; i++ {
+		h.recv(message.TypeValidateReply)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		v, ok := h.reps[0].Store().Read("k")
+		r, w := h.reps[0].Store().Pending("k")
+		if ok && string(v.Value) == "v" && r == 0 && w == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper never finished the orphan: ok=%v pending=(%d,%d)", ok, r, w)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSharedRecordModeProtocol(t *testing.T) {
+	// The TAPIR-like shared-record mode must run the same protocol.
+	h := newHarness(t, true, 0)
+	txn := rmwTxn(1, 1, "k", "v", timestamp.Zero)
+	h.send(0, &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 0})
+	if r := h.recv(message.TypeValidateReply); r.Status != message.StatusValidatedOK {
+		t.Fatalf("validate: %+v", r)
+	}
+	// Same tid on the *other* core sees the same shared record.
+	h.send(0, &message.Message{Type: message.TypeValidate, Txn: txn, TID: txn.ID, TS: ts(10, 1), CoreID: 1})
+	if r := h.recv(message.TypeValidateReply); r.Status != message.StatusValidatedOK {
+		t.Fatalf("cross-core duplicate: %+v", r)
+	}
+	h.send(0, &message.Message{Type: message.TypeCommit, TID: txn.ID, Status: message.StatusCommitted, CoreID: 0})
+	deadline := time.Now().Add(time.Second)
+	for {
+		if v, ok := h.reps[0].Store().Read("k"); ok && string(v.Value) == "v" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("commit not applied in shared mode")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReadServedByAnyCore(t *testing.T) {
+	h := newHarness(t, false, 0)
+	h.reps[2].Store().Load("k", []byte("v"), ts(1, 0))
+	h.send(2, &message.Message{Type: message.TypeRead, Key: "k", Seq: 7, CoreID: 1})
+	r := h.recv(message.TypeReadReply)
+	if !r.OK || string(r.Value) != "v" || r.Seq != 7 || r.TS != ts(1, 0) {
+		t.Fatalf("read reply %+v", r)
+	}
+	// Missing key reads as not-found with version Zero.
+	h.send(2, &message.Message{Type: message.TypeRead, Key: "nope", Seq: 8, CoreID: 0})
+	r = h.recv(message.TypeReadReply)
+	if r.OK || !r.TS.IsZero() {
+		t.Fatalf("missing-key reply %+v", r)
+	}
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Fig1Config sizes one simulated Figure 1 data point: a PUT-only KV server
+// with T threads behind either the kernel-bypass or the kernel-UDP stack,
+// optionally incrementing a shared atomic counter on every PUT.
+type Fig1Config struct {
+	Params  Params
+	Threads int
+	Clients int // default 4x threads
+	UDP     bool
+	Counter bool
+	Seed    int64
+	Warmup  Time
+	Measure Time
+}
+
+// Fig1Result is one simulated Figure 1 data point.
+type Fig1Result struct {
+	Stack   string
+	Threads int
+	Counter bool
+	Puts    uint64
+	Elapsed Time
+}
+
+// Throughput returns simulated PUTs per second.
+func (r *Fig1Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Puts) * 1e9 / float64(r.Elapsed)
+}
+
+// RunFig1Sim simulates one Figure 1 configuration.
+func RunFig1Sim(cfg Fig1Config) Fig1Result {
+	if cfg.Clients == 0 {
+		// Enough closed-loop clients to drive the servers to peak (the
+		// paper measures peak throughput).
+		cfg.Clients = 12 * cfg.Threads
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 5_000_000
+	}
+	if cfg.Measure == 0 {
+		cfg.Measure = 50_000_000
+	}
+	p := cfg.Params
+
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	cores := make([]*Core, cfg.Threads)
+	for i := range cores {
+		cores[i] = NewCore(e)
+	}
+	counter := &Resource{}
+
+	delay := p.NetDelay
+	rxtx := p.Fig1RxTx
+	if cfg.UDP {
+		delay = p.UDPNetDelay
+		rxtx = p.Fig1UDPRxTx
+	}
+
+	measuring := false
+	var puts uint64
+	var loop func()
+	loop = func() {
+		core := cores[rng.Intn(cfg.Threads)]
+		e.After(p.ClientThink+delay, func() {
+			var lock *Resource
+			var hold Time
+			if cfg.Counter {
+				lock, hold = counter, p.AtomicCost
+			}
+			core.Submit(rxtx+p.PutCost, lock, hold, func(Time) {
+				e.After(delay, func() {
+					if measuring {
+						puts++
+					}
+					loop()
+				})
+			})
+		})
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		e.Schedule(Time(c)*29, loop)
+	}
+
+	e.Run(cfg.Warmup)
+	measuring = true
+	start := e.Now()
+	e.Run(cfg.Warmup + cfg.Measure)
+
+	stack := "erpc"
+	if cfg.UDP {
+		stack = "udp"
+	}
+	return Fig1Result{Stack: stack, Threads: cfg.Threads, Counter: cfg.Counter, Puts: puts, Elapsed: e.Now() - start}
+}
+
+// Fig1Sweep simulates the full Figure 1: both stacks, with and without the
+// shared counter, across thread counts.
+func Fig1Sweep(w io.Writer, p Params, threads []int) []Fig1Result {
+	var out []Fig1Result
+	fmt.Fprintln(w, "# simulated Figure 1: PUT throughput (Mops/sec) vs server threads")
+	fmt.Fprintf(w, "%-8s %9s %8s %12s\n", "stack", "counter", "threads", "Mputs/sec")
+	for _, udp := range []bool{false, true} {
+		for _, counter := range []bool{false, true} {
+			for _, th := range threads {
+				r := RunFig1Sim(Fig1Config{Params: p, Threads: th, UDP: udp, Counter: counter})
+				out = append(out, r)
+				fmt.Fprintf(w, "%-8s %9v %8d %12.2f\n", r.Stack, counter, th, r.Throughput()/1e6)
+			}
+		}
+	}
+	return out
+}
+
+// ThreadSweep simulates Figures 4 (workload "ycsb-t") and 5 ("retwis"):
+// goodput versus server threads for the four systems.
+func ThreadSweep(w io.Writer, p Params, wl string, threads []int) []Result {
+	var out []Result
+	fmt.Fprintf(w, "# simulated %s uniform: goodput (Mtxns/sec) vs server threads\n", wl)
+	fmt.Fprintf(w, "%-12s %8s %12s %10s %10s\n", "system", "threads", "Mtxns/sec", "core-util", "lock-util")
+	for _, sys := range AllSystems {
+		for _, th := range threads {
+			r := RunSim(Config{System: sys, Params: p, Cores: th, Workload: wl})
+			out = append(out, r)
+			fmt.Fprintf(w, "%-12s %8d %12.3f %9.0f%% %9.0f%%\n",
+				sys, th, r.Throughput()/1e6, 100*r.CoreUtilization, 100*r.LockUtilization)
+		}
+	}
+	return out
+}
+
+// ZipfSweep simulates Figures 6 and 7 at the paper's setting (64 server
+// threads): goodput and abort rate for Meerkat vs Meerkat-PB as the Zipf
+// coefficient sweeps from uniform to highly contended. The conflict model
+// is enabled; key count follows the paper's per-core loading rule (1M keys
+// per core would swamp the model's maps, so a proportional smaller space is
+// used — contention depends on the popularity mass of the hot keys, which
+// the Zipf coefficient fixes independent of scale).
+func ZipfSweep(w io.Writer, p Params, wl string, thetas []float64, threads int) []Result {
+	var out []Result
+	fmt.Fprintf(w, "# simulated %s, %d server threads: goodput and abort rate vs zipf\n", wl, threads)
+	fmt.Fprintf(w, "%-12s %8s %12s %9s\n", "system", "zipf", "Mtxns/sec", "abort%")
+	for _, sys := range []System{Meerkat, MeerkatPB} {
+		for _, theta := range thetas {
+			r := RunSim(Config{
+				System: sys, Params: p, Cores: threads,
+				Workload: wl, Zipf: theta, Keys: 1 << 16,
+				ModelConflicts: true,
+			})
+			out = append(out, r)
+			fmt.Fprintf(w, "%-12s %8.2f %12.3f %8.1f%%\n",
+				sys, theta, r.Throughput()/1e6, 100*r.AbortRate())
+		}
+	}
+	return out
+}

@@ -1,0 +1,503 @@
+package sim
+
+import (
+	"math/rand"
+
+	"meerkat/internal/workload"
+)
+
+// System names the four prototypes (mirroring internal/bench, without
+// importing it).
+type System string
+
+// The simulated systems.
+const (
+	Meerkat   System = "meerkat"
+	MeerkatPB System = "meerkat-pb"
+	TAPIR     System = "tapir"
+	KuaFu     System = "kuafu++"
+)
+
+// AllSystems lists the simulated systems in presentation order.
+var AllSystems = []System{Meerkat, MeerkatPB, TAPIR, KuaFu}
+
+// Params are the calibrated cost parameters of the simulated testbed, all
+// in virtual nanoseconds. Defaults (DefaultParams) are anchored so the
+// simulated testbed reproduces the paper's absolute operating points;
+// Calibrate rebuilds them from microbenchmarks of this repository's real
+// code, preserving ratios measured on the host.
+type Params struct {
+	// Network.
+	NetDelay    Time // one-way delay, kernel-bypass fabric
+	UDPNetDelay Time // one-way delay through the kernel UDP stack
+	RxTxCost    Time // per-message CPU at a core, kernel-bypass
+	UDPRxTxCost Time // per-message CPU at a core, kernel UDP
+
+	// Transaction protocol handler costs (CPU beyond RxTx).
+	ReadCost      Time // execution-phase GET
+	ValidateBase  Time // OCC validation fixed cost
+	ValidatePerOp Time // per read/write-set element
+	CommitBase    Time // write-phase fixed cost
+	CommitPerOp   Time
+	ApplyBase     Time // backup apply (PB systems)
+	ApplyPerOp    Time
+	AckCost       Time // primary-side replication-ack processing
+
+	// Cross-core coordination points.
+	SharedRecordHold Time // TAPIR/KuaFu++ shared-record critical section
+	AtomicCost       Time // contended atomic counter (cache-line transfer)
+	LogHold          Time // shared log append critical section
+
+	// Figure 1 micro-benchmark.
+	PutCost     Time // PUT handler beyond RxTx
+	Fig1RxTx    Time // per-message CPU for the tiny PUT RPCs, bypass stack
+	Fig1UDPRxTx Time // and through the kernel stack
+
+	ClientThink Time // closed-loop client turnaround
+}
+
+// DefaultParams returns parameters anchored to the paper's testbed
+// operating points: eRPC-class small-RPC cost of ~1–2µs of CPU per message,
+// kernel-UDP per-message cost several times higher, sub-microsecond
+// critical sections for the shared structures, and validation costs that
+// put Meerkat at roughly 100k transactions/second/thread — the paper's
+// 8.3M/s at 80 threads.
+func DefaultParams() Params {
+	return Params{
+		NetDelay:    2000,
+		UDPNetDelay: 15000,
+		RxTxCost:    1800,
+		UDPRxTxCost: 7000,
+
+		ReadCost:      800,
+		ValidateBase:  2500,
+		ValidatePerOp: 200,
+		CommitBase:    1500,
+		CommitPerOp:   150,
+		ApplyBase:     1200,
+		ApplyPerOp:    150,
+		AckCost:       600,
+
+		SharedRecordHold: 600,
+		AtomicCost:       90,
+		LogHold:          150,
+
+		PutCost:     200,
+		Fig1RxTx:    900,
+		Fig1UDPRxTx: 7000,
+
+		ClientThink: 500,
+	}
+}
+
+// Config sizes one simulation run.
+type Config struct {
+	System   System
+	Params   Params
+	Replicas int // default 3
+	Cores    int // server threads per replica
+	Clients  int // closed-loop clients; default 6x cores
+	// Workload selects the transaction shape generator: "ycsb-t" or
+	// "retwis".
+	Workload string
+	// Keys is the keyspace size and Zipf its skew coefficient. With
+	// ModelConflicts, key popularity drives simulated OCC aborts.
+	Keys int
+	Zipf float64
+	// ModelConflicts enables the optimistic-concurrency conflict model:
+	// each replica tracks the latest committed version time per key
+	// (updated when that replica's commit handler runs, so replicas lag
+	// independently); a validation votes abort when any read is stale at
+	// that replica. Meerkat needs every replica's vote to be fresh, the
+	// primary-backup systems only the primary's — exactly the trade-off
+	// Figures 6 and 7 measure.
+	ModelConflicts bool
+	Seed           int64
+	// Warmup and Measure are virtual durations.
+	Warmup  Time
+	Measure Time
+}
+
+func (c *Config) fill() {
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.Clients == 0 {
+		c.Clients = 6 * c.Cores
+	}
+	if c.Keys == 0 {
+		c.Keys = 1 << 20
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10_000_000 // 10 virtual ms
+	}
+	if c.Measure == 0 {
+		c.Measure = 50_000_000 // 50 virtual ms
+	}
+	if c.Workload == "" {
+		c.Workload = "ycsb-t"
+	}
+}
+
+// Result is one simulated data point.
+type Result struct {
+	System    System
+	Cores     int
+	Committed uint64
+	Aborted   uint64
+	Elapsed   Time
+	// CoreUtilization is the mean utilization of replica cores over the
+	// run, and LockUtilization that of the most contended shared
+	// resource (zero for ZCP-clean systems).
+	CoreUtilization float64
+	LockUtilization float64
+}
+
+// Throughput returns simulated committed transactions per second (goodput).
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) * 1e9 / float64(r.Elapsed)
+}
+
+// AbortRate returns aborted/(committed+aborted).
+func (r *Result) AbortRate() float64 {
+	den := r.Committed + r.Aborted
+	if den == 0 {
+		return 0
+	}
+	return float64(r.Aborted) / float64(den)
+}
+
+// run carries one simulation's state. The engine is single-threaded, so no
+// synchronization appears anywhere.
+type run struct {
+	cfg Config
+	p   Params
+	e   *Engine
+	rng *rand.Rand
+	gen workload.Generator
+
+	cores [][]*Core // [replica][core]
+
+	// Shared coordination points (nil when the system has none).
+	recordLock []*Resource // per replica: TAPIR and KuaFu++
+	logLock    []*Resource // per replica: KuaFu++
+	counter    *Resource   // primary: KuaFu++
+
+	measuring bool
+	committed uint64
+	aborted   uint64
+
+	// lastWrite[replica][key] is the commit time of the newest version
+	// that replica has applied (the conflict model's vstore).
+	lastWrite []map[string]Time
+}
+
+// RunSim simulates one configuration and returns its data point.
+func RunSim(cfg Config) Result {
+	cfg.fill()
+	r := &run{
+		cfg: cfg,
+		p:   cfg.Params,
+		e:   NewEngine(),
+		rng: rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	chooser := workload.NewChooser(cfg.Keys, cfg.Zipf)
+	if cfg.Workload == "retwis" {
+		r.gen = workload.NewRetwis(chooser)
+	} else {
+		r.gen = workload.NewYCSBT(chooser)
+	}
+	if cfg.ModelConflicts {
+		r.lastWrite = make([]map[string]Time, cfg.Replicas)
+		for i := range r.lastWrite {
+			r.lastWrite[i] = make(map[string]Time)
+		}
+	}
+	for rep := 0; rep < cfg.Replicas; rep++ {
+		cores := make([]*Core, cfg.Cores)
+		for c := range cores {
+			cores[c] = NewCore(r.e)
+		}
+		r.cores = append(r.cores, cores)
+		r.recordLock = append(r.recordLock, &Resource{})
+		r.logLock = append(r.logLock, &Resource{})
+	}
+	r.counter = &Resource{}
+
+	for c := 0; c < cfg.Clients; c++ {
+		// Stagger client starts to avoid lockstep artifacts.
+		r.e.Schedule(Time(c)*37, r.clientLoop)
+	}
+
+	r.e.Run(cfg.Warmup)
+	r.measuring = true
+	start := r.e.Now()
+	end := cfg.Warmup + cfg.Measure
+	r.e.Run(end)
+	r.measuring = false
+
+	res := Result{System: cfg.System, Cores: cfg.Cores, Committed: r.committed, Aborted: r.aborted, Elapsed: r.e.Now() - start}
+	var busy float64
+	for _, cores := range r.cores {
+		for _, c := range cores {
+			busy += c.Utilization(r.e.Now())
+		}
+	}
+	res.CoreUtilization = busy / float64(cfg.Replicas*cfg.Cores)
+	for _, l := range r.recordLock {
+		if u := l.Utilization(r.e.Now()); u > res.LockUtilization {
+			res.LockUtilization = u
+		}
+	}
+	if u := r.counter.Utilization(r.e.Now()); u > res.LockUtilization {
+		res.LockUtilization = u
+	}
+	return res
+}
+
+func (r *run) pickCore() int    { return r.rng.Intn(r.cfg.Cores) }
+func (r *run) pickReplica() int { return r.rng.Intn(r.cfg.Replicas) }
+
+// txnState carries one in-flight transaction through its phases.
+type txnState struct {
+	readKeys  []string // keys read (reads + rmws)
+	writeKeys []string // keys written (rmws + writes)
+	versions  []Time   // conflict model: version time observed per readKeys[i]
+}
+
+// clientLoop runs one closed-loop client forever: sample a transaction,
+// perform its execution-phase reads as sequential round trips, then run the
+// system's commit protocol, then loop.
+func (r *run) clientLoop() {
+	spec := r.gen.Next(r.rng)
+	st := &txnState{}
+	st.readKeys = append(append(st.readKeys, spec.Reads...), spec.RMWs...)
+	st.writeKeys = append(append(st.writeKeys, spec.RMWs...), spec.Writes...)
+	if r.lastWrite != nil {
+		st.versions = make([]Time, len(st.readKeys))
+	}
+	gets := len(st.readKeys)
+	puts := len(st.writeKeys)
+	r.e.After(r.p.ClientThink, func() {
+		r.execReads(st, 0, func() {
+			r.commitPhase(st, gets, puts, func(committed bool) {
+				if r.measuring {
+					if committed {
+						r.committed++
+					} else {
+						r.aborted++
+					}
+				}
+				r.clientLoop()
+			})
+		})
+	})
+}
+
+// execReads performs the transaction's sequential GET round trips against
+// uniformly chosen replica cores, recording the observed version times for
+// the conflict model, then calls done.
+func (r *run) execReads(st *txnState, i int, done func()) {
+	if i >= len(st.readKeys) {
+		done()
+		return
+	}
+	rep := r.pickReplica()
+	core := r.cores[rep][r.pickCore()]
+	r.e.After(r.p.NetDelay, func() {
+		core.Submit(r.p.RxTxCost+r.p.ReadCost, nil, 0, func(Time) {
+			if r.lastWrite != nil {
+				st.versions[i] = r.lastWrite[rep][st.readKeys[i]]
+			}
+			r.e.After(r.p.NetDelay, func() {
+				r.execReads(st, i+1, done)
+			})
+		})
+	})
+}
+
+// freshAt reports whether every read of st is still the latest committed
+// version at replica rep (the read-set half of Algorithm 1).
+func (r *run) freshAt(rep int, st *txnState) bool {
+	for i, k := range st.readKeys {
+		if r.lastWrite[rep][k] != st.versions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyAt installs st's writes at replica rep under version id — the
+// transaction's (replica-independent) commit timestamp, so a version reads
+// equal at every replica that has applied it even though replicas apply at
+// different virtual times.
+func (r *run) applyAt(rep int, st *txnState, id Time) {
+	for _, k := range st.writeKeys {
+		if r.lastWrite[rep][k] < id {
+			r.lastWrite[rep][k] = id
+		}
+	}
+}
+
+// commitPhase dispatches on the system under simulation.
+func (r *run) commitPhase(st *txnState, gets, puts int, done func(bool)) {
+	switch r.cfg.System {
+	case Meerkat, TAPIR:
+		r.meerkatCommit(st, gets, puts, done)
+	case MeerkatPB:
+		r.pbCommit(st, gets, puts, done, false)
+	case KuaFu:
+		r.pbCommit(st, gets, puts, done, true)
+	}
+}
+
+// meerkatCommit models the leaderless validate/commit protocol: a validate
+// broadcast to the chosen core of every replica, the fast-path wait for all
+// replies, and an asynchronous commit broadcast. TAPIR is the identical
+// flow with every record access funneled through the replica-wide record
+// lock.
+func (r *run) meerkatCommit(st *txnState, gets, puts int, done func(bool)) {
+	coreID := r.pickCore()
+	ops := Time(gets + puts)
+	valService := r.p.RxTxCost + r.p.ValidateBase + r.p.ValidatePerOp*ops
+	comService := r.p.RxTxCost + r.p.CommitBase + r.p.CommitPerOp*ops
+
+	n := r.cfg.Replicas
+	replies := 0
+	okVotes := 0
+	for rep := 0; rep < n; rep++ {
+		rep := rep
+		core := r.cores[rep][coreID]
+		var lock *Resource
+		var hold Time
+		if r.cfg.System == TAPIR {
+			lock, hold = r.recordLock[rep], r.p.SharedRecordHold
+		}
+		r.e.After(r.p.NetDelay, func() {
+			core.Submit(valService, lock, hold, func(fin Time) {
+				// The OCC vote is taken when the validate handler runs.
+				vote := r.lastWrite == nil || r.freshAt(rep, st)
+				r.e.After(r.p.NetDelay, func() {
+					replies++
+					if vote {
+						okVotes++
+					}
+					if replies != n {
+						return
+					}
+					// Unanimous OK votes: fast path. A bare majority of
+					// OKs: the coordinator pays an extra accept round
+					// (slow path) before committing. Fewer: abort.
+					majority := n/2 + 1
+					committed := okVotes >= majority
+					versionID := r.e.Now() // replica-independent commit ts
+					finish := func() {
+						for rep2 := 0; rep2 < n; rep2++ {
+							rep2 := rep2
+							core2 := r.cores[rep2][coreID]
+							var lock2 *Resource
+							var hold2 Time
+							if r.cfg.System == TAPIR {
+								lock2, hold2 = r.recordLock[rep2], r.p.SharedRecordHold
+							}
+							r.e.After(r.p.NetDelay, func() {
+								core2.Submit(comService, lock2, hold2, func(Time) {
+									if committed && r.lastWrite != nil {
+										r.applyAt(rep2, st, versionID)
+									}
+								})
+							})
+						}
+						done(committed)
+					}
+					if committed && okVotes < n {
+						// Slow path: an accept round trip to a majority.
+						acks := 0
+						for rep2 := 0; rep2 < n; rep2++ {
+							core2 := r.cores[rep2][coreID]
+							r.e.After(r.p.NetDelay, func() {
+								core2.Submit(r.p.RxTxCost+r.p.AckCost, nil, 0, func(Time) {
+									r.e.After(r.p.NetDelay, func() {
+										acks++
+										if acks == majority {
+											finish()
+										}
+									})
+								})
+							})
+						}
+						return
+					}
+					finish()
+				})
+			})
+		})
+	}
+}
+
+// pbCommit models the primary-backup commit used by Meerkat-PB and KuaFu++:
+// submit to the primary, validation there, a replication round to the
+// backups, and the client release after f acks. KuaFu++ additionally funnels
+// the submit through the shared record, the atomic ordering counter, and
+// the shared log, and each backup through its shared log.
+func (r *run) pbCommit(st *txnState, gets, puts int, done func(bool), kuafu bool) {
+	coreID := r.pickCore()
+	ops := Time(gets + puts)
+	subService := r.p.RxTxCost + r.p.ValidateBase + r.p.ValidatePerOp*ops
+	appService := r.p.RxTxCost + r.p.ApplyBase + r.p.ApplyPerOp*Time(puts)
+	ackService := r.p.RxTxCost + r.p.AckCost
+
+	primary := r.cores[0][coreID]
+	f := (r.cfg.Replicas - 1) / 2
+
+	var subLock, ackLock *Resource
+	var subHold, ackHold Time
+	if kuafu {
+		// Record lock + counter + log append, acquired back to back at the
+		// primary; modeled as one combined critical section.
+		subLock, subHold = r.recordLock[0], r.p.SharedRecordHold+r.p.AtomicCost+r.p.LogHold
+		ackLock, ackHold = r.recordLock[0], r.p.SharedRecordHold
+	}
+
+	r.e.After(r.p.NetDelay, func() {
+		primary.Submit(subService, subLock, subHold, func(fin Time) {
+			// Centralized validation: only the primary's view matters.
+			if r.lastWrite != nil && !r.freshAt(0, st) {
+				r.e.After(r.p.NetDelay, func() { done(false) })
+				return
+			}
+			versionID := r.e.Now() // replica-independent commit ts
+			acks := 0
+			for b := 1; b < r.cfg.Replicas; b++ {
+				b := b
+				backup := r.cores[b][coreID]
+				var bLock *Resource
+				var bHold Time
+				if kuafu {
+					bLock, bHold = r.logLock[b], r.p.LogHold
+				}
+				r.e.After(r.p.NetDelay, func() {
+					backup.Submit(appService, bLock, bHold, func(bfin Time) {
+						if r.lastWrite != nil {
+							r.applyAt(b, st, versionID)
+						}
+						r.e.After(r.p.NetDelay, func() {
+							primary.Submit(ackService, ackLock, ackHold, func(afin Time) {
+								acks++
+								if acks == f {
+									if r.lastWrite != nil {
+										r.applyAt(0, st, versionID)
+									}
+									r.e.After(r.p.NetDelay, func() { done(true) })
+								}
+							})
+						})
+					})
+				})
+			}
+		})
+	})
+}

@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"io"
+	"math"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Schedule(10, func() { order = append(order, 11) }) // same time: FIFO
+	e.Run(100)
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %d", e.Now())
+	}
+}
+
+func TestEngineRunUntilStopsEarly(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(1000, func() { ran = true })
+	e.Run(500)
+	if ran {
+		t.Fatal("event past the horizon ran")
+	}
+	e.Run(1500)
+	if !ran {
+		t.Fatal("event never ran")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	var loop func()
+	loop = func() {
+		hits++
+		if hits < 5 {
+			e.After(10, loop)
+		}
+	}
+	e.Schedule(0, loop)
+	e.Run(1000)
+	if hits != 5 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	r := &Resource{}
+	d1 := r.Process(0, 100)
+	d2 := r.Process(50, 100) // arrives while busy: queues
+	d3 := r.Process(500, 100)
+	if d1 != 100 || d2 != 200 || d3 != 600 {
+		t.Fatalf("done times %d %d %d", d1, d2, d3)
+	}
+	if r.Utilization(600) != 0.5 {
+		t.Fatalf("utilization %f", r.Utilization(600))
+	}
+}
+
+func TestCoreLockedSerializes(t *testing.T) {
+	// Two cores, one lock: concurrent handlers must serialize on the lock
+	// portion only (pre-sections overlap, critical sections queue).
+	e := NewEngine()
+	lock := &Resource{}
+	c1, c2 := NewCore(e), NewCore(e)
+	var d1, d2 Time
+	e.Schedule(0, func() {
+		c1.Submit(100, lock, 40, func(fin Time) { d1 = fin })
+		c2.Submit(100, lock, 40, func(fin Time) { d2 = fin })
+	})
+	e.Run(1000)
+	if d1 != 100 {
+		t.Fatalf("d1 = %d, want 100", d1)
+	}
+	if d2 != 140 { // 60 pre + wait until 100 + 40 hold
+		t.Fatalf("d2 = %d, want 140", d2)
+	}
+}
+
+func TestDeepQueueDoesNotBlockOtherCoresLock(t *testing.T) {
+	// A backlog on core 1 must not pre-reserve the lock into the future:
+	// core 2's handler, arriving later but reaching the critical section
+	// first, takes the lock first.
+	e := NewEngine()
+	lock := &Resource{}
+	c1, c2 := NewCore(e), NewCore(e)
+	var d2 Time
+	e.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			c1.Submit(1000, lock, 10, nil) // deep backlog on core 1
+		}
+	})
+	e.Schedule(100, func() {
+		c2.Submit(100, lock, 10, func(fin Time) { d2 = fin })
+	})
+	e.Run(100000)
+	// Core 2 starts at 100, pre-section ends at 190, lock is held by core
+	// 1 only in [990,1000], [1990,2000], ...; at 190 it is free.
+	if d2 != 200 {
+		t.Fatalf("d2 = %d, want 200 (no false serialization)", d2)
+	}
+}
+
+func TestLockBoundThroughputCap(t *testing.T) {
+	// Amdahl check: with a 100ns critical section per op, total throughput
+	// across any core count caps near 10M ops/s.
+	e := NewEngine()
+	lock := &Resource{}
+	ops := 0
+	for i := 0; i < 16; i++ {
+		core := NewCore(e)
+		var spawn func()
+		spawn = func() {
+			core.Submit(200, lock, 100, func(Time) {
+				ops++
+				spawn()
+			})
+		}
+		e.Schedule(Time(i), spawn)
+	}
+	e.Run(10_000_000)           // 10 virtual ms
+	rate := float64(ops) / 0.01 // ops per second
+	if rate > 10.5e6 {
+		t.Fatalf("lock-bound rate %.0f exceeds 1/hold", rate)
+	}
+	if rate < 8e6 {
+		t.Fatalf("lock-bound rate %.0f too far below cap", rate)
+	}
+}
+
+func TestDisjointCoresScaleLinearly(t *testing.T) {
+	// Without shared resources, doubling cores doubles throughput.
+	tput := func(cores int) float64 {
+		r := RunSim(Config{System: Meerkat, Params: DefaultParams(), Cores: cores, Clients: 8 * cores, Seed: 1})
+		return r.Throughput()
+	}
+	t4, t8 := tput(4), tput(8)
+	if ratio := t8 / t4; ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("meerkat 4->8 cores scaled by %.2f, want ~2", ratio)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	a := RunSim(Config{System: TAPIR, Params: DefaultParams(), Cores: 4, Seed: 42})
+	b := RunSim(Config{System: TAPIR, Params: DefaultParams(), Cores: 4, Seed: 42})
+	if a.Committed != b.Committed {
+		t.Fatalf("same seed, different results: %d vs %d", a.Committed, b.Committed)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	// The paper's headline comparisons at high thread counts:
+	//   Meerkat > Meerkat-PB > TAPIR and KuaFu++;
+	//   Meerkat keeps scaling, TAPIR/KuaFu++ plateau early.
+	p := DefaultParams()
+	at := func(sys System, cores int) float64 {
+		r := RunSim(Config{System: sys, Params: p, Cores: cores, Seed: 1})
+		return r.Throughput()
+	}
+	const cores = 32
+	meerkat := at(Meerkat, cores)
+	pb := at(MeerkatPB, cores)
+	tapir := at(TAPIR, cores)
+	kuafu := at(KuaFu, cores)
+
+	if !(meerkat > pb && pb > tapir && tapir > kuafu) {
+		t.Fatalf("ordering violated: meerkat=%.0f pb=%.0f tapir=%.0f kuafu=%.0f",
+			meerkat, pb, tapir, kuafu)
+	}
+	// Meerkat at 32 cores should be several times KuaFu++ (paper: 12x at 80).
+	if meerkat/kuafu < 3 {
+		t.Fatalf("meerkat/kuafu = %.1f, want >= 3", meerkat/kuafu)
+	}
+
+	// TAPIR plateaus: 8 -> 32 cores gains little.
+	tapir8 := at(TAPIR, 8)
+	if tapir/tapir8 > 1.8 {
+		t.Fatalf("tapir kept scaling 8->32: %.0f -> %.0f", tapir8, tapir)
+	}
+	// Meerkat does not plateau there.
+	meerkat8 := at(Meerkat, 8)
+	if meerkat/meerkat8 < 2.5 {
+		t.Fatalf("meerkat stopped scaling 8->32: %.0f -> %.0f", meerkat8, meerkat)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	p := DefaultParams()
+	at := func(udp, counter bool, threads int) float64 {
+		r := RunFig1Sim(Fig1Config{Params: p, Threads: threads, UDP: udp, Counter: counter, Seed: 1})
+		return r.Throughput()
+	}
+	// Kernel bypass is many times faster than UDP (paper: ~8x).
+	erpc20, udp20 := at(false, false, 20), at(true, false, 20)
+	if erpc20/udp20 < 4 {
+		t.Fatalf("erpc/udp = %.1f, want >= 4", erpc20/udp20)
+	}
+	// The shared counter caps the bypass stack...
+	erpcCtr20 := at(false, true, 20)
+	if erpcCtr20 >= erpc20*0.9 {
+		t.Fatalf("counter did not bottleneck erpc: %.0f vs %.0f", erpcCtr20, erpc20)
+	}
+	// ...but has no discernible effect on the kernel stack (masked).
+	udpCtr20 := at(true, true, 20)
+	if math.Abs(udpCtr20-udp20)/udp20 > 0.1 {
+		t.Fatalf("counter visibly affected udp: %.0f vs %.0f", udpCtr20, udp20)
+	}
+}
+
+func TestRetwisLowerThroughput(t *testing.T) {
+	// Longer Retwis transactions yield lower txn throughput than YCSB-T
+	// for every system (Figure 5 vs Figure 4).
+	p := DefaultParams()
+	for _, sys := range AllSystems {
+		y := RunSim(Config{System: sys, Params: p, Cores: 8, Workload: "ycsb-t", Seed: 1})
+		r := RunSim(Config{System: sys, Params: p, Cores: 8, Workload: "retwis", Seed: 1})
+		if r.Throughput() >= y.Throughput() {
+			t.Fatalf("%s: retwis %.0f >= ycsb-t %.0f", sys, r.Throughput(), y.Throughput())
+		}
+	}
+}
+
+func TestSweepPrinters(t *testing.T) {
+	p := DefaultParams()
+	if pts := ThreadSweep(io.Discard, p, "ycsb-t", []int{2}); len(pts) != len(AllSystems) {
+		t.Fatalf("ThreadSweep returned %d points", len(pts))
+	}
+	if pts := Fig1Sweep(io.Discard, p, []int{2}); len(pts) != 4 {
+		t.Fatalf("Fig1Sweep returned %d points", len(pts))
+	}
+}
+
+func TestCalibrateProducesSaneParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration takes ~1s")
+	}
+	p := Calibrate()
+	if p.ValidateBase <= 0 || p.SharedRecordHold <= 0 || p.RxTxCost <= 0 {
+		t.Fatalf("calibrated params not positive: %+v", p)
+	}
+	// Kernel UDP must be costlier than the in-process transport.
+	if p.UDPRxTxCost <= p.RxTxCost {
+		t.Fatalf("udp per-message cost %d <= inproc %d", p.UDPRxTxCost, p.RxTxCost)
+	}
+	// The calibrated model must preserve the Figure 4 ordering.
+	at := func(sys System) float64 {
+		r := RunSim(Config{System: sys, Params: p, Cores: 16, Seed: 1})
+		return r.Throughput()
+	}
+	if !(at(Meerkat) > at(TAPIR)) {
+		t.Fatal("calibrated params lost meerkat > tapir")
+	}
+}
+
+func TestFigure6and7Shape(t *testing.T) {
+	// Simulated Figures 6a/7a at 64 threads: abort rates rise with the
+	// Zipf coefficient, Meerkat aborts more than Meerkat-PB (it needs
+	// matching votes from independently lagging replicas), Meerkat wins
+	// at uniform access, and the gap closes or inverts when contention
+	// is extreme.
+	p := DefaultParams()
+	at := func(sys System, theta float64) Result {
+		return RunSim(Config{
+			System: sys, Params: p, Cores: 64,
+			Workload: "ycsb-t", Zipf: theta, Keys: 1 << 16,
+			ModelConflicts: true, Seed: 1,
+		})
+	}
+	mkLow, mkHigh := at(Meerkat, 0), at(Meerkat, 0.99)
+	pbLow, pbHigh := at(MeerkatPB, 0), at(MeerkatPB, 0.99)
+
+	if mkHigh.AbortRate() <= mkLow.AbortRate() {
+		t.Fatalf("meerkat abort rate did not rise: %.3f -> %.3f",
+			mkLow.AbortRate(), mkHigh.AbortRate())
+	}
+	if mkHigh.AbortRate() < 0.05 {
+		t.Fatalf("meerkat abort rate at theta=0.99 implausibly low: %.3f", mkHigh.AbortRate())
+	}
+	if mkHigh.AbortRate() <= pbHigh.AbortRate() {
+		t.Fatalf("meerkat (%.3f) should abort more than meerkat-pb (%.3f) at high contention",
+			mkHigh.AbortRate(), pbHigh.AbortRate())
+	}
+	if mkLow.Throughput() <= pbLow.Throughput() {
+		t.Fatalf("meerkat (%.0f) should beat meerkat-pb (%.0f) at uniform access",
+			mkLow.Throughput(), pbLow.Throughput())
+	}
+	// The advantage must shrink under contention (the paper's trade-off).
+	lowGap := mkLow.Throughput() / pbLow.Throughput()
+	highGap := mkHigh.Throughput() / pbHigh.Throughput()
+	if highGap >= lowGap {
+		t.Fatalf("contention did not erode meerkat's advantage: %.2f -> %.2f", lowGap, highGap)
+	}
+}

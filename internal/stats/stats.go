@@ -1,0 +1,138 @@
+// Package stats provides the measurement plumbing for the benchmark
+// harness: log-bucketed latency histograms and per-client counters that
+// aggregate without hot-path sharing (a shared counter in the measurement
+// path would itself violate the Zero-Coordination Principle the benchmarks
+// are trying to observe).
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// histBuckets spans 256ns..~1.1s in 64 log2-spaced buckets at 8 buckets per
+// octave, which keeps percentile error under ~9%.
+const (
+	histMinShift = 8 // 2^8 ns = 256ns floor
+	histBuckets  = 184
+	histSub      = 8 // sub-buckets per octave
+)
+
+// Histogram is a fixed-size log-bucketed latency histogram. It is not safe
+// for concurrent use; each client records into its own and histograms are
+// merged after the run.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    uint64 // ns, for mean
+	max    uint64
+}
+
+func bucketOf(ns uint64) int {
+	if ns < 1<<histMinShift {
+		return 0
+	}
+	oct := uint(63 - bits.LeadingZeros64(ns)) // floor(log2(ns))
+	sub := (ns >> (oct - 3)) & (histSub - 1)
+	b := int(oct-histMinShift)*histSub + int(sub)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketLow returns the lower bound (ns) of bucket b.
+func bucketLow(b int) uint64 {
+	oct := uint(b/histSub) + histMinShift
+	sub := uint64(b % histSub)
+	return 1<<oct + sub<<(oct-3)
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.counts[bucketOf(ns)]++
+	h.total++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Max returns the largest observation (bucket-exact).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Percentile returns the latency at quantile q in [0,1], e.g. 0.99.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(h.total))
+	if want >= h.total {
+		want = h.total - 1
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen > want {
+			return time.Duration(bucketLow(b))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.total, h.Mean(), h.Percentile(0.50), h.Percentile(0.99), h.Max())
+}
+
+// Counters are the per-client outcome tallies, merged after a run.
+type Counters struct {
+	Committed uint64
+	Aborted   uint64
+	Errors    uint64
+	Ops       uint64 // reads+writes issued by committed+aborted txns
+}
+
+// Merge adds other into c.
+func (c *Counters) Merge(other Counters) {
+	c.Committed += other.Committed
+	c.Aborted += other.Aborted
+	c.Errors += other.Errors
+	c.Ops += other.Ops
+}
+
+// AbortRate returns aborted/(committed+aborted), the paper's Figure 7
+// metric.
+func (c *Counters) AbortRate() float64 {
+	den := c.Committed + c.Aborted
+	if den == 0 {
+		return 0
+	}
+	return float64(c.Aborted) / float64(den)
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Record(time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatal("count")
+	}
+	if h.Mean() != time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	p := h.Percentile(0.5)
+	if p < 900*time.Nanosecond || p > 1100*time.Nanosecond {
+		t.Fatalf("p50 = %v, want ~1µs", p)
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	// Uniform latencies 1µs..1ms: bucketed percentiles must be within the
+	// documented ~9% relative error.
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	var all []time.Duration
+	for i := 0; i < 100000; i++ {
+		d := time.Duration(1000+rng.Intn(999000)) * time.Nanosecond
+		h.Record(d)
+		all = append(all, d)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := float64(h.Percentile(q))
+		// True quantile of the uniform distribution.
+		want := 1000.0 + q*999000.0
+		if got < want*0.85 || got > want*1.15 {
+			t.Errorf("P%.0f = %v, want ~%v", q*100, time.Duration(got), time.Duration(want))
+		}
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		var h Histogram
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 1000; i++ {
+			h.Record(time.Duration(rng.Intn(10000000)))
+		}
+		prev := time.Duration(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			p := h.Percentile(q)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	var h Histogram
+	h.Record(1)              // below floor
+	h.Record(10 * time.Hour) // above ceiling
+	if h.Count() != 2 {
+		t.Fatal("count")
+	}
+	if h.Percentile(0) > 256*2 {
+		t.Fatalf("tiny observation landed at %v", h.Percentile(0))
+	}
+	if h.Max() != 10*time.Hour {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(time.Microsecond)
+		b.Record(time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if p := a.Percentile(0.25); p > 2*time.Microsecond {
+		t.Fatalf("p25 = %v", p)
+	}
+	if p := a.Percentile(0.75); p < 500*time.Microsecond {
+		t.Fatalf("p75 = %v", p)
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	a := Counters{Committed: 80, Aborted: 20, Errors: 1, Ops: 300}
+	b := Counters{Committed: 20, Aborted: 0}
+	a.Merge(b)
+	if a.Committed != 100 || a.Aborted != 20 || a.Errors != 1 || a.Ops != 300 {
+		t.Fatalf("merged %+v", a)
+	}
+	if r := a.AbortRate(); r < 0.16 || r > 0.17 {
+		t.Fatalf("abort rate %f", r)
+	}
+	var zero Counters
+	if zero.AbortRate() != 0 {
+		t.Fatal("zero counters abort rate")
+	}
+}

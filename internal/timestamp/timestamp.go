@@ -1,0 +1,134 @@
+// Package timestamp defines the globally unique, totally ordered timestamps
+// and transaction identifiers used throughout Meerkat.
+//
+// Meerkat serializes transactions in timestamp order. To avoid any
+// coordination when choosing timestamps, a coordinator builds one from its
+// local (loosely synchronized) clock plus its globally unique client id:
+// the pair (Time, ClientID) is unique as long as each client's clock reading
+// is strictly monotonic, which internal/clock guarantees.
+package timestamp
+
+import "fmt"
+
+// Timestamp is a proposed (or committed) serialization point for a
+// transaction: the coordinator's local clock reading paired with the
+// coordinator's unique client id to break ties.
+//
+// The zero Timestamp is smaller than every timestamp a client can generate
+// and is used as "no such transaction" in several protocol messages.
+type Timestamp struct {
+	Time     int64  // local clock reading, arbitrary units (ns in practice)
+	ClientID uint64 // unique id of the proposing coordinator
+}
+
+// Zero is the zero timestamp, ordered before all client-generated timestamps.
+var Zero = Timestamp{}
+
+// IsZero reports whether t is the zero timestamp.
+func (t Timestamp) IsZero() bool { return t == Zero }
+
+// Less reports whether t orders strictly before u. Ordering is lexicographic
+// on (Time, ClientID), which yields a total order because ids are unique.
+func (t Timestamp) Less(u Timestamp) bool {
+	if t.Time != u.Time {
+		return t.Time < u.Time
+	}
+	return t.ClientID < u.ClientID
+}
+
+// LessEq reports whether t orders before or equal to u.
+func (t Timestamp) LessEq(u Timestamp) bool { return !u.Less(t) }
+
+// Greater reports whether t orders strictly after u.
+func (t Timestamp) Greater(u Timestamp) bool { return u.Less(t) }
+
+// Compare returns -1, 0, or +1 as t orders before, equal to, or after u.
+func (t Timestamp) Compare(u Timestamp) int {
+	switch {
+	case t.Less(u):
+		return -1
+	case u.Less(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Max returns the later of t and u.
+func Max(t, u Timestamp) Timestamp {
+	if t.Less(u) {
+		return u
+	}
+	return t
+}
+
+// Min returns the earlier of t and u.
+func Min(t, u Timestamp) Timestamp {
+	if u.Less(t) {
+		return u
+	}
+	return t
+}
+
+// String formats the timestamp as "time.clientID" for logs and tests.
+func (t Timestamp) String() string {
+	return fmt.Sprintf("%d.%d", t.Time, t.ClientID)
+}
+
+// TxnID uniquely identifies a transaction: a sequence number local to the
+// issuing client paired with that client's unique id.
+type TxnID struct {
+	Seq      uint64
+	ClientID uint64
+}
+
+// IsZero reports whether id is the zero TxnID.
+func (id TxnID) IsZero() bool { return id == TxnID{} }
+
+// Less orders TxnIDs lexicographically on (ClientID, Seq). The order carries
+// no protocol meaning; it exists so ids can key sorted structures
+// deterministically.
+func (id TxnID) Less(o TxnID) bool {
+	if id.ClientID != o.ClientID {
+		return id.ClientID < o.ClientID
+	}
+	return id.Seq < o.Seq
+}
+
+// String formats the id as "clientID:seq".
+func (id TxnID) String() string {
+	return fmt.Sprintf("%d:%d", id.ClientID, id.Seq)
+}
+
+// Generator hands out TxnIDs and timestamps for a single coordinator. It is
+// not safe for concurrent use; each client owns one.
+type Generator struct {
+	clientID uint64
+	seq      uint64
+	lastTime int64
+	now      func() int64
+}
+
+// NewGenerator returns a Generator for the given client. now supplies local
+// clock readings (see internal/clock); Next makes readings strictly monotonic
+// even if now stalls or steps backwards.
+func NewGenerator(clientID uint64, now func() int64) *Generator {
+	return &Generator{clientID: clientID, now: now}
+}
+
+// NextID returns a fresh transaction id.
+func (g *Generator) NextID() TxnID {
+	g.seq++
+	return TxnID{Seq: g.seq, ClientID: g.clientID}
+}
+
+// NextTimestamp returns a fresh proposed timestamp, strictly greater than any
+// timestamp this generator returned before.
+func (g *Generator) NextTimestamp() Timestamp {
+	t := g.now()
+	if t <= g.lastTime {
+		t = g.lastTime + 1
+	}
+	g.lastTime = t
+	return Timestamp{Time: t, ClientID: g.clientID}
+}

@@ -1,0 +1,207 @@
+package timestamp
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroOrdersFirst(t *testing.T) {
+	ts := Timestamp{Time: 1, ClientID: 0}
+	if !Zero.Less(ts) {
+		t.Fatalf("Zero should order before %v", ts)
+	}
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if ts.IsZero() {
+		t.Fatalf("%v.IsZero() = true", ts)
+	}
+}
+
+func TestLessLexicographic(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+		want bool
+	}{
+		{Timestamp{1, 1}, Timestamp{2, 1}, true},
+		{Timestamp{2, 1}, Timestamp{1, 1}, false},
+		{Timestamp{1, 1}, Timestamp{1, 2}, true},
+		{Timestamp{1, 2}, Timestamp{1, 1}, false},
+		{Timestamp{1, 1}, Timestamp{1, 1}, false},
+		{Timestamp{5, 9}, Timestamp{6, 1}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	f := func(at, bt int64, ac, bc uint64) bool {
+		a := Timestamp{Time: at, ClientID: ac}
+		b := Timestamp{Time: bt, ClientID: bc}
+		c := a.Compare(b)
+		switch {
+		case a.Less(b):
+			return c == -1 && b.Compare(a) == 1
+		case b.Less(a):
+			return c == 1 && b.Compare(a) == -1
+		default:
+			return c == 0 && a == b
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalOrderProperties(t *testing.T) {
+	// Antisymmetry and totality: exactly one of a<b, b<a, a==b holds.
+	f := func(at, bt int64, ac, bc uint64) bool {
+		a := Timestamp{Time: at, ClientID: ac}
+		b := Timestamp{Time: bt, ClientID: bc}
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	f := func(t1, t2, t3 int64, c1, c2, c3 uint64) bool {
+		a := Timestamp{t1, c1}
+		b := Timestamp{t2, c2}
+		c := Timestamp{t3, c3}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := Timestamp{1, 2}
+	b := Timestamp{1, 3}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Errorf("Max(%v,%v) wrong", a, b)
+	}
+	if Min(a, b) != a || Min(b, a) != a {
+		t.Errorf("Min(%v,%v) wrong", a, b)
+	}
+	if Max(a, a) != a || Min(a, a) != a {
+		t.Error("Max/Min not reflexive")
+	}
+}
+
+func TestLessEqGreater(t *testing.T) {
+	a := Timestamp{1, 1}
+	b := Timestamp{2, 1}
+	if !a.LessEq(b) || !a.LessEq(a) || b.LessEq(a) {
+		t.Error("LessEq wrong")
+	}
+	if !b.Greater(a) || a.Greater(b) || a.Greater(a) {
+		t.Error("Greater wrong")
+	}
+}
+
+func TestGeneratorMonotonic(t *testing.T) {
+	// A clock that stalls and even steps backwards must still yield strictly
+	// increasing timestamps.
+	reads := []int64{5, 5, 3, 10, 10, 2}
+	i := 0
+	g := NewGenerator(7, func() int64 {
+		v := reads[i%len(reads)]
+		i++
+		return v
+	})
+	var prev Timestamp
+	for n := 0; n < 20; n++ {
+		ts := g.NextTimestamp()
+		if !prev.Less(ts) {
+			t.Fatalf("timestamp %v not greater than previous %v", ts, prev)
+		}
+		if ts.ClientID != 7 {
+			t.Fatalf("ClientID = %d, want 7", ts.ClientID)
+		}
+		prev = ts
+	}
+}
+
+func TestGeneratorIDsUnique(t *testing.T) {
+	g := NewGenerator(3, func() int64 { return 0 })
+	seen := make(map[TxnID]bool)
+	for n := 0; n < 1000; n++ {
+		id := g.NextID()
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		if id.ClientID != 3 {
+			t.Fatalf("ClientID = %d, want 3", id.ClientID)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTimestampsUniqueAcrossClients(t *testing.T) {
+	// Same clock reading on two clients must still give distinct timestamps.
+	g1 := NewGenerator(1, func() int64 { return 42 })
+	g2 := NewGenerator(2, func() int64 { return 42 })
+	a, b := g1.NextTimestamp(), g2.NextTimestamp()
+	if a == b {
+		t.Fatalf("timestamps collide: %v", a)
+	}
+	if a.Compare(b) == 0 {
+		t.Fatal("distinct timestamps compare equal")
+	}
+}
+
+func TestSortByLess(t *testing.T) {
+	ts := []Timestamp{{3, 1}, {1, 2}, {1, 1}, {2, 9}, {0, 5}}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+	want := []Timestamp{{0, 5}, {1, 1}, {1, 2}, {2, 9}, {3, 1}}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, ts[i], want[i])
+		}
+	}
+}
+
+func TestTxnIDString(t *testing.T) {
+	id := TxnID{Seq: 4, ClientID: 9}
+	if got := id.String(); got != "9:4" {
+		t.Errorf("String() = %q, want %q", got, "9:4")
+	}
+	if got := (Timestamp{10, 2}).String(); got != "10.2" {
+		t.Errorf("String() = %q, want %q", got, "10.2")
+	}
+}
+
+func TestTxnIDLess(t *testing.T) {
+	a := TxnID{Seq: 1, ClientID: 1}
+	b := TxnID{Seq: 2, ClientID: 1}
+	c := TxnID{Seq: 1, ClientID: 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("seq ordering wrong")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Error("client ordering wrong")
+	}
+	if a.Less(a) {
+		t.Error("Less not irreflexive")
+	}
+}

@@ -1,0 +1,126 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuorumSizes(t *testing.T) {
+	cases := []struct {
+		replicas, f, majority, fast int
+	}{
+		{1, 0, 1, 1},
+		{3, 1, 2, 3},
+		{5, 2, 3, 4},
+		{7, 3, 4, 6},
+		{9, 4, 5, 7},
+	}
+	for _, c := range cases {
+		tp := Topology{Partitions: 1, Replicas: c.replicas, Cores: 1}
+		if tp.F() != c.f {
+			t.Errorf("n=%d: F=%d, want %d", c.replicas, tp.F(), c.f)
+		}
+		if tp.Majority() != c.majority {
+			t.Errorf("n=%d: Majority=%d, want %d", c.replicas, tp.Majority(), c.majority)
+		}
+		if tp.FastQuorum() != c.fast {
+			t.Errorf("n=%d: FastQuorum=%d, want %d", c.replicas, tp.FastQuorum(), c.fast)
+		}
+	}
+}
+
+func TestQuorumIntersectionProperties(t *testing.T) {
+	// Any two majorities intersect; a fast quorum and a majority intersect
+	// in at least ceil(f/2)+1 replicas (the epoch-change safety argument).
+	for n := 1; n <= 21; n += 2 {
+		tp := Topology{Partitions: 1, Replicas: n, Cores: 1}
+		f := tp.F()
+		if 2*tp.Majority() <= n {
+			t.Errorf("n=%d: two majorities may not intersect", n)
+		}
+		inter := tp.FastQuorum() + tp.Majority() - n
+		if inter < (f+1)/2+1 {
+			t.Errorf("n=%d: fast/majority intersection %d < %d", n, inter, (f+1)/2+1)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Topology{Partitions: 1, Replicas: 3, Cores: 4}
+	if !good.Validate() {
+		t.Error("valid topology rejected")
+	}
+	for _, bad := range []Topology{
+		{Partitions: 0, Replicas: 3, Cores: 1},
+		{Partitions: 1, Replicas: 2, Cores: 1}, // even replica count
+		{Partitions: 1, Replicas: 3, Cores: 0},
+	} {
+		if bad.Validate() {
+			t.Errorf("invalid topology accepted: %+v", bad)
+		}
+	}
+}
+
+func TestAddressesDisjoint(t *testing.T) {
+	tp := Topology{Partitions: 3, Replicas: 3, Cores: 4}
+	seen := map[uint32]bool{}
+	for p := 0; p < tp.Partitions; p++ {
+		for r := 0; r < tp.Replicas; r++ {
+			id := tp.ReplicaNode(p, r)
+			if seen[id] {
+				t.Fatalf("node id %d reused", id)
+			}
+			if id >= ClientNodeBase {
+				t.Fatalf("replica node id %d collides with client space", id)
+			}
+			seen[id] = true
+		}
+	}
+	if a := tp.ClientAddr(5); a.Node < ClientNodeBase {
+		t.Fatalf("client addr %v in replica space", a)
+	}
+}
+
+func TestGroupAddrs(t *testing.T) {
+	tp := Topology{Partitions: 2, Replicas: 3, Cores: 4}
+	addrs := tp.GroupAddrs(1, 2)
+	if len(addrs) != 3 {
+		t.Fatalf("got %d addrs", len(addrs))
+	}
+	for r, a := range addrs {
+		if a.Core != 2 {
+			t.Errorf("addr %d core = %d", r, a.Core)
+		}
+		if a.Node != tp.ReplicaNode(1, r) {
+			t.Errorf("addr %d node = %d", r, a.Node)
+		}
+	}
+}
+
+func TestPartitionForKeyStableAndInRange(t *testing.T) {
+	tp := Topology{Partitions: 4, Replicas: 3, Cores: 1}
+	f := func(key string) bool {
+		p := tp.PartitionForKey(key)
+		return p >= 0 && p < 4 && p == tp.PartitionForKey(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	single := Topology{Partitions: 1, Replicas: 3, Cores: 1}
+	if single.PartitionForKey("anything") != 0 {
+		t.Fatal("single partition must map everything to 0")
+	}
+}
+
+func TestPartitionSpread(t *testing.T) {
+	tp := Topology{Partitions: 4, Replicas: 3, Cores: 1}
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[tp.PartitionForKey(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i)))]++
+	}
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("partition %d received no keys", p)
+		}
+	}
+}

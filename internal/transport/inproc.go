@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meerkat/internal/message"
+)
+
+// InprocConfig tunes the in-process network.
+type InprocConfig struct {
+	// QueueDepth is the per-endpoint receive queue length, the analogue of
+	// a NIC receive ring. Sends to a full queue are dropped, as a NIC
+	// would. Defaults to 8192.
+	QueueDepth int
+	// DropProb is the probability each message is silently dropped.
+	DropProb float64
+	// Delay, if non-nil, returns an extra delivery delay sampled per
+	// message. Delayed messages may be reordered relative to later sends.
+	Delay func() time.Duration
+	// Seed seeds the drop-decision RNG so fault schedules are repeatable.
+	Seed int64
+}
+
+// InprocStats counts network activity. Read with the atomic Load methods.
+type InprocStats struct {
+	Sent      atomic.Uint64
+	Delivered atomic.Uint64
+	Dropped   atomic.Uint64 // random drops + full queues + filtered links
+}
+
+// Inproc is an in-process Network. Each endpoint owns a delivery queue
+// drained by a dedicated goroutine, modelling one server thread polling one
+// NIC queue. Sends between endpoints are direct channel hand-offs with no
+// serialization, the stand-in for the paper's eRPC kernel-bypass stack.
+type Inproc struct {
+	cfg   InprocConfig
+	stats InprocStats
+
+	mu        sync.RWMutex
+	endpoints map[message.Addr]*inprocEndpoint
+	closed    bool
+
+	// filter, when set, decides per (src, dst) whether a message may pass.
+	// It implements partitions and crashed nodes.
+	filter atomic.Pointer[func(src, dst message.Addr) bool]
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewInproc returns an in-process network with the given configuration.
+func NewInproc(cfg InprocConfig) *Inproc {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8192
+	}
+	return &Inproc{
+		cfg:       cfg,
+		endpoints: make(map[message.Addr]*inprocEndpoint),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Stats returns the network's counters.
+func (n *Inproc) Stats() *InprocStats { return &n.stats }
+
+// SetLinkFilter installs f as the per-link admission check: messages from
+// src to dst are dropped when f(src, dst) is false. Pass nil to clear.
+// Safe to call while the network is in use.
+func (n *Inproc) SetLinkFilter(f func(src, dst message.Addr) bool) {
+	if f == nil {
+		n.filter.Store(nil)
+		return
+	}
+	n.filter.Store(&f)
+}
+
+// Isolate drops all traffic to and from the given nodes, simulating crashed
+// or partitioned replicas. It replaces any previous filter.
+func (n *Inproc) Isolate(nodes ...uint32) {
+	down := make(map[uint32]bool, len(nodes))
+	for _, id := range nodes {
+		down[id] = true
+	}
+	n.SetLinkFilter(func(src, dst message.Addr) bool {
+		return !down[src.Node] && !down[dst.Node]
+	})
+}
+
+// Heal removes any link filter, restoring full connectivity.
+func (n *Inproc) Heal() { n.SetLinkFilter(nil) }
+
+// Listen implements Network.
+func (n *Inproc) Listen(addr message.Addr, h Handler) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, ErrAddrInUse
+	}
+	ep := &inprocEndpoint{
+		net:  n,
+		addr: addr,
+		h:    h,
+		ch:   make(chan *message.Message, n.cfg.QueueDepth),
+		quit: make(chan struct{}),
+	}
+	n.endpoints[addr] = ep
+	go ep.run()
+	return ep, nil
+}
+
+// Close implements Network.
+func (n *Inproc) Close() error {
+	n.mu.Lock()
+	eps := make([]*inprocEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}
+
+// dispatch routes m from src to dst, applying drops, filters, and delays.
+func (n *Inproc) dispatch(src, dst message.Addr, m *message.Message) error {
+	n.stats.Sent.Add(1)
+
+	if f := n.filter.Load(); f != nil && !(*f)(src, dst) {
+		n.stats.Dropped.Add(1)
+		return nil // silently dropped, like a real network
+	}
+	if n.cfg.DropProb > 0 {
+		n.rngMu.Lock()
+		drop := n.rng.Float64() < n.cfg.DropProb
+		n.rngMu.Unlock()
+		if drop {
+			n.stats.Dropped.Add(1)
+			return nil
+		}
+	}
+
+	n.mu.RLock()
+	ep, ok := n.endpoints[dst]
+	n.mu.RUnlock()
+	if !ok {
+		n.stats.Dropped.Add(1)
+		return nil // unreachable destination: a silent drop, not an error
+	}
+
+	if n.cfg.Delay != nil {
+		if d := n.cfg.Delay(); d > 0 {
+			time.AfterFunc(d, func() { ep.enqueue(m, &n.stats) })
+			return nil
+		}
+	}
+	ep.enqueue(m, &n.stats)
+	return nil
+}
+
+type inprocEndpoint struct {
+	net    *Inproc
+	addr   message.Addr
+	h      Handler
+	ch     chan *message.Message
+	quit   chan struct{}
+	closed atomic.Bool
+}
+
+func (ep *inprocEndpoint) run() {
+	for {
+		select {
+		case <-ep.quit:
+			return
+		case m := <-ep.ch:
+			ep.h(m)
+		}
+	}
+}
+
+func (ep *inprocEndpoint) enqueue(m *message.Message, stats *InprocStats) {
+	if ep.closed.Load() {
+		stats.Dropped.Add(1)
+		return
+	}
+	select {
+	case ep.ch <- m:
+		stats.Delivered.Add(1)
+	default:
+		stats.Dropped.Add(1) // receive ring overflow
+	}
+}
+
+// Addr implements Endpoint.
+func (ep *inprocEndpoint) Addr() message.Addr { return ep.addr }
+
+// Send implements Endpoint.
+func (ep *inprocEndpoint) Send(dst message.Addr, m *message.Message) error {
+	if ep.closed.Load() {
+		return ErrClosed
+	}
+	m.Src = ep.addr
+	return ep.net.dispatch(ep.addr, dst, m)
+}
+
+// Close implements Endpoint.
+func (ep *inprocEndpoint) Close() error {
+	if ep.closed.Swap(true) {
+		return nil
+	}
+	close(ep.quit)
+	ep.net.mu.Lock()
+	if ep.net.endpoints[ep.addr] == ep {
+		delete(ep.net.endpoints, ep.addr)
+	}
+	ep.net.mu.Unlock()
+	return nil
+}
+
+// Inbox is a Handler that buffers inbound messages into a channel, for
+// callers (clients, coordinators) that consume replies synchronously.
+type Inbox struct {
+	C chan *message.Message
+}
+
+// NewInbox returns an Inbox with the given buffer depth.
+func NewInbox(depth int) *Inbox {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &Inbox{C: make(chan *message.Message, depth)}
+}
+
+// Handle implements Handler. Messages beyond the buffer are dropped, which
+// the retry layer above absorbs.
+func (in *Inbox) Handle(m *message.Message) {
+	select {
+	case in.C <- m:
+	default:
+	}
+}

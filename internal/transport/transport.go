@@ -1,0 +1,61 @@
+// Package transport delivers protocol messages between nodes and cores.
+//
+// It provides two implementations of the same interface:
+//
+//   - Inproc: an in-process network with one delivery queue per (node, core)
+//     endpoint, standing in for the paper's eRPC kernel-bypass stack. A send
+//     is a direct hand-off into the destination core's queue — no
+//     serialization, no syscalls — so per-message cost is low enough to
+//     expose application-level coordination bottlenecks, exactly the regime
+//     Figure 1 of the paper demonstrates.
+//
+//   - UDP: a real loopback UDP transport on stdlib net, standing in for the
+//     paper's traditional Linux UDP stack. Messages pay full binary
+//     serialization and kernel socket costs.
+//
+// Core-level addressing reproduces the paper's NIC flow steering: the
+// coordinator picks a core id for each transaction and every message for
+// that transaction is delivered to that core's queue, keeping the trecord
+// partition single-core-private.
+package transport
+
+import (
+	"errors"
+
+	"meerkat/internal/message"
+)
+
+// Handler processes one inbound message. For server endpoints the handler
+// runs on the endpoint's dedicated delivery goroutine — the analogue of a
+// server thread polling its NIC receive queue — so handlers for one core
+// never run concurrently with each other.
+type Handler func(m *message.Message)
+
+// Endpoint is a bound (node, core) address that can send messages.
+type Endpoint interface {
+	// Addr returns the endpoint's own address.
+	Addr() message.Addr
+	// Send delivers m to the endpoint at dst, asynchronously and
+	// unreliably: the message may be dropped, delayed, or reordered, per
+	// the network's fault configuration (or the whims of a real kernel).
+	// The transport stamps m.Src before delivery. Callers must not mutate
+	// m after Send returns.
+	Send(dst message.Addr, m *message.Message) error
+	// Close unbinds the endpoint and stops its delivery goroutine.
+	Close() error
+}
+
+// Network creates endpoints sharing one message fabric.
+type Network interface {
+	// Listen binds addr and dispatches inbound messages to h.
+	Listen(addr message.Addr, h Handler) (Endpoint, error)
+	// Close shuts down the network and all endpoints.
+	Close() error
+}
+
+// Errors shared by the implementations.
+var (
+	ErrClosed    = errors.New("transport: closed")
+	ErrAddrInUse = errors.New("transport: address already bound")
+	ErrNoRoute   = errors.New("transport: no such destination")
+)

@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"meerkat/internal/message"
+)
+
+// UDP is a Network over real UDP sockets. Each (node, core) endpoint binds
+// its own port — one socket per server thread, the software analogue of the
+// paper's per-thread NIC send/receive queues steered by port number — and
+// every message pays full binary serialization plus kernel socket costs.
+// This is the stand-in for the paper's traditional Linux UDP stack baseline.
+type UDP struct {
+	host         string
+	basePort     int
+	coresPerNode int
+
+	mu     sync.Mutex
+	eps    []*udpEndpoint
+	closed bool
+}
+
+// NewUDP returns a UDP network on host (usually "127.0.0.1"). The port for
+// address (node, core) is basePort + node*coresPerNode + core, so all
+// processes sharing the same parameters agree on the port map.
+func NewUDP(host string, basePort, coresPerNode int) *UDP {
+	if coresPerNode <= 0 {
+		coresPerNode = 128
+	}
+	return &UDP{host: host, basePort: basePort, coresPerNode: coresPerNode}
+}
+
+// Port returns the UDP port assigned to addr. Node ids are compacted into
+// slots so the large client and recovery-coordinator id spaces (see
+// internal/topo) still land in the 16-bit port range: replicas keep their
+// ids, per-partition recovery coordinators (node >= 1<<15) map to slots from
+// 192, and clients (node >= 1<<16) to slots from 256.
+func (n *UDP) Port(addr message.Addr) int {
+	node := addr.Node
+	var slot int
+	switch {
+	case node < 1<<15:
+		slot = int(node)
+	case node < 1<<16:
+		slot = 192 + int(node-1<<15)
+	default:
+		slot = 256 + int(node-1<<16)
+	}
+	return n.basePort + slot*n.coresPerNode + int(addr.Core)
+}
+
+// Listen implements Network.
+func (n *UDP) Listen(addr message.Addr, h Handler) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if int(addr.Core) >= n.coresPerNode {
+		return nil, fmt.Errorf("transport: core %d out of range (coresPerNode=%d)", addr.Core, n.coresPerNode)
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{
+		IP:   net.ParseIP(n.host),
+		Port: n.Port(addr),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ep := &udpEndpoint{net: n, addr: addr, conn: conn, h: h}
+	go ep.readLoop()
+	n.eps = append(n.eps, ep)
+	return ep, nil
+}
+
+// Close implements Network.
+func (n *UDP) Close() error {
+	n.mu.Lock()
+	eps := n.eps
+	n.eps = nil
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}
+
+type udpEndpoint struct {
+	net  *UDP
+	addr message.Addr
+	conn *net.UDPConn
+	h    Handler
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var udpBufPool = sync.Pool{
+	New: func() any { return make([]byte, 0, 2048) },
+}
+
+func (ep *udpEndpoint) readLoop() {
+	buf := make([]byte, 64<<10)
+	for {
+		nr, _, err := ep.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		m, err := message.Decode(buf[:nr])
+		if err != nil {
+			continue // corrupt datagram: drop, like any UDP consumer
+		}
+		ep.h(m)
+	}
+}
+
+// Addr implements Endpoint.
+func (ep *udpEndpoint) Addr() message.Addr { return ep.addr }
+
+// Send implements Endpoint.
+func (ep *udpEndpoint) Send(dst message.Addr, m *message.Message) error {
+	ep.mu.Lock()
+	closed := ep.closed
+	ep.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	m.Src = ep.addr
+	buf := udpBufPool.Get().([]byte)
+	buf = message.Encode(buf[:0], m)
+	_, err := ep.conn.WriteToUDP(buf, &net.UDPAddr{
+		IP:   net.ParseIP(ep.net.host),
+		Port: ep.net.Port(dst),
+	})
+	udpBufPool.Put(buf) //nolint:staticcheck // slice reuse is the point
+	if err != nil {
+		// UDP is best-effort end to end; surface only local socket faults.
+		return err
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (ep *udpEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	ep.mu.Unlock()
+	return ep.conn.Close()
+}

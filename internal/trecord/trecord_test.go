@@ -1,0 +1,143 @@
+package trecord
+
+import (
+	"sync"
+	"testing"
+
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
+)
+
+func tid(seq uint64) timestamp.TxnID { return timestamp.TxnID{Seq: seq, ClientID: 1} }
+
+func TestGetOrCreate(t *testing.T) {
+	p := NewPartition()
+	r, created := p.GetOrCreate(tid(1))
+	if !created || r == nil {
+		t.Fatal("first GetOrCreate did not create")
+	}
+	if r.Txn.ID != tid(1) {
+		t.Fatalf("record id = %v", r.Txn.ID)
+	}
+	r2, created := p.GetOrCreate(tid(1))
+	if created || r2 != r {
+		t.Fatal("second GetOrCreate did not return the same record")
+	}
+	if p.Get(tid(2)) != nil {
+		t.Fatal("Get of missing tid returned a record")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	p := NewPartition()
+	r1, _ := p.GetOrCreate(tid(1))
+	r1.Status = message.StatusValidatedOK
+	rep := &Record{Txn: message.Txn{ID: tid(1)}, Status: message.StatusCommitted}
+	p.Put(rep)
+	if got := p.Get(tid(1)); got != rep || got.Status != message.StatusCommitted {
+		t.Fatal("Put did not replace record")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	p := NewPartition()
+	p.GetOrCreate(tid(1))
+	p.Delete(tid(1))
+	if p.Get(tid(1)) != nil || p.Len() != 0 {
+		t.Fatal("Delete did not remove record")
+	}
+	p.Delete(tid(9)) // deleting a missing record must not panic
+}
+
+func TestRange(t *testing.T) {
+	p := NewPartition()
+	for i := uint64(1); i <= 5; i++ {
+		p.GetOrCreate(tid(i))
+	}
+	n := 0
+	p.Range(func(*Record) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("Range visited %d", n)
+	}
+	n = 0
+	p.Range(func(*Record) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("Range early-stop visited %d", n)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	p := NewPartition()
+	r, _ := p.GetOrCreate(tid(1))
+	r.TS = timestamp.Timestamp{Time: 9, ClientID: 1}
+	r.Status = message.StatusValidatedOK
+	r.View = 2
+	r.AcceptView = 1
+	r.Txn.ReadSet = []message.ReadSetEntry{{Key: "a"}}
+	r.Registered = true
+
+	snap := p.Snapshot(7)
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	e := snap[0]
+	if e.CoreID != 7 || e.TS != r.TS || e.Status != r.Status || e.View != 2 || e.AcceptView != 1 {
+		t.Fatalf("snapshot entry %+v", e)
+	}
+	if len(e.Txn.ReadSet) != 1 || e.Txn.ReadSet[0].Key != "a" {
+		t.Fatal("snapshot lost txn body")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	p := NewPartition()
+	for i := uint64(1); i <= 6; i++ {
+		r, _ := p.GetOrCreate(tid(i))
+		switch i % 3 {
+		case 0:
+			r.Status = message.StatusCommitted
+		case 1:
+			r.Status = message.StatusAborted
+		default:
+			r.Status = message.StatusValidatedOK
+		}
+	}
+	removed := p.Compact()
+	if removed != 4 {
+		t.Fatalf("Compact removed %d, want 4", removed)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d after compact", p.Len())
+	}
+	p.Range(func(r *Record) bool {
+		if r.Status.Final() {
+			t.Errorf("final record %v survived compaction", r.Txn.ID)
+		}
+		return true
+	})
+}
+
+func TestSharedConcurrentAccess(t *testing.T) {
+	s := NewShared()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := timestamp.TxnID{Seq: uint64(i), ClientID: uint64(w)}
+				s.Do(func(p *Partition) {
+					r, _ := p.GetOrCreate(id)
+					r.Status = message.StatusValidatedOK
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8000 {
+		t.Fatalf("Len = %d, want 8000", s.Len())
+	}
+}

@@ -1,0 +1,454 @@
+// Package vstore implements Meerkat's versioned storage layer: a sharded
+// concurrent hash table whose entries carry, per key, the version history
+// plus the concurrency-control metadata of the paper's §4.2 —
+//
+//   - wts: the write timestamp of the latest committed version,
+//   - rts: the largest timestamp of any committed transaction that read the
+//     key,
+//   - readers: timestamps of pending (validated, not yet finalized)
+//     transactions that read the key,
+//   - writers: timestamps of pending transactions that wrote the key.
+//
+// All state is partitioned per key and protected by a per-key lock, so
+// transactions touching disjoint keys never contend — the storage half of
+// the Zero-Coordination Principle. The same store backs Meerkat, Meerkat-PB,
+// TAPIR-like, and KuaFu++, mirroring the paper's shared storage layer.
+package vstore
+
+import (
+	"sync"
+
+	"meerkat/internal/timestamp"
+)
+
+// Version is one committed value of a key.
+type Version struct {
+	Value []byte
+	WTS   timestamp.Timestamp // timestamp of the transaction that wrote it
+}
+
+// tsSet is a small unordered set of timestamps. Pending reader/writer sets
+// hold one element per in-flight conflicting transaction, so linear scans
+// beat any tree or map at realistic sizes.
+type tsSet struct {
+	ts []timestamp.Timestamp
+}
+
+func (s *tsSet) add(t timestamp.Timestamp) { s.ts = append(s.ts, t) }
+
+func (s *tsSet) remove(t timestamp.Timestamp) {
+	for i := range s.ts {
+		if s.ts[i] == t {
+			last := len(s.ts) - 1
+			s.ts[i] = s.ts[last]
+			s.ts = s.ts[:last]
+			return
+		}
+	}
+}
+
+// min returns the smallest timestamp and true, or false if empty.
+func (s *tsSet) min() (timestamp.Timestamp, bool) {
+	if len(s.ts) == 0 {
+		return timestamp.Timestamp{}, false
+	}
+	m := s.ts[0]
+	for _, t := range s.ts[1:] {
+		if t.Less(m) {
+			m = t
+		}
+	}
+	return m, true
+}
+
+// max returns the largest timestamp and true, or false if empty.
+func (s *tsSet) max() (timestamp.Timestamp, bool) {
+	if len(s.ts) == 0 {
+		return timestamp.Timestamp{}, false
+	}
+	m := s.ts[0]
+	for _, t := range s.ts[1:] {
+		if m.Less(t) {
+			m = t
+		}
+	}
+	return m, true
+}
+
+// entry is the per-key record. Its mutex is the only lock a non-conflicting
+// transaction ever takes in the storage layer, and only for the duration of
+// one check or install — the paper's "small atomic regions".
+type entry struct {
+	mu       sync.Mutex
+	versions []Version // ascending by WTS; last is the latest committed
+	rts      timestamp.Timestamp
+	readers  tsSet
+	writers  tsSet
+}
+
+// wtsLocked returns the latest committed write timestamp (Zero if none).
+// Caller holds e.mu.
+func (e *entry) wtsLocked() timestamp.Timestamp {
+	if len(e.versions) == 0 {
+		return timestamp.Timestamp{}
+	}
+	return e.versions[len(e.versions)-1].WTS
+}
+
+const defaultShards = 256
+
+// Config tunes a Store.
+type Config struct {
+	// Shards is the number of hash-table shards; must be a power of two.
+	// Defaults to 256.
+	Shards int
+	// MaxVersions bounds the per-key version history; older versions are
+	// trimmed on install. 0 means keep 8 (enough for the out-of-order
+	// reads the protocol generates). Negative means unbounded.
+	MaxVersions int
+}
+
+// Store is the versioned storage layer.
+type Store struct {
+	shards      []shard
+	mask        uint64
+	maxVersions int
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*entry
+}
+
+// New returns an empty Store.
+func New(cfg Config) *Store {
+	n := cfg.Shards
+	if n <= 0 {
+		n = defaultShards
+	}
+	if n&(n-1) != 0 {
+		panic("vstore: Shards must be a power of two")
+	}
+	maxV := cfg.MaxVersions
+	if maxV == 0 {
+		maxV = 8
+	}
+	s := &Store{shards: make([]shard, n), mask: uint64(n - 1), maxVersions: maxV}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*entry)
+	}
+	return s
+}
+
+// fnv1a hashes key without allocating.
+func fnv1a(key string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[fnv1a(key)&s.mask]
+}
+
+// get returns the entry for key, or nil if absent.
+func (s *Store) get(key string) *entry {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	e := sh.m[key]
+	sh.mu.RUnlock()
+	return e
+}
+
+// getOrCreate returns the entry for key, creating it if absent.
+func (s *Store) getOrCreate(key string) *entry {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	e := sh.m[key]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	sh.mu.Lock()
+	e = sh.m[key]
+	if e == nil {
+		e = &entry{}
+		sh.m[key] = e
+	}
+	sh.mu.Unlock()
+	return e
+}
+
+// Load installs an initial version of key at ts, bypassing concurrency
+// control. It is meant for bulk-loading the database before a run.
+func (s *Store) Load(key string, value []byte, ts timestamp.Timestamp) {
+	e := s.getOrCreate(key)
+	e.mu.Lock()
+	e.installLocked(value, ts, s.maxVersions)
+	e.mu.Unlock()
+}
+
+// Read returns the latest committed version of key. ok is false if the key
+// has never been written; the returned WTS is then Zero, which is exactly
+// the version a read-set entry should carry so that validation detects a
+// concurrent first write.
+func (s *Store) Read(key string) (Version, bool) {
+	e := s.get(key)
+	if e == nil {
+		return Version{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.versions) == 0 {
+		return Version{}, false
+	}
+	return e.versions[len(e.versions)-1], true
+}
+
+// ReadAt returns the newest committed version of key with WTS <= ts. It
+// serves reads that must not observe writes later than a chosen timestamp.
+func (s *Store) ReadAt(key string, ts timestamp.Timestamp) (Version, bool) {
+	e := s.get(key)
+	if e == nil {
+		return Version{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := len(e.versions) - 1; i >= 0; i-- {
+		if e.versions[i].WTS.LessEq(ts) {
+			return e.versions[i], true
+		}
+	}
+	return Version{}, false
+}
+
+// ValidateRead performs the read-set half of the paper's Algorithm 1 for a
+// single key: it aborts if the latest committed version is newer than the
+// one the transaction read (e.wts > readWTS), or if a pending writer could
+// commit between that version and ts (ts > min(writers)). On success the
+// transaction's timestamp is recorded in the key's pending readers.
+func (s *Store) ValidateRead(key string, readWTS, ts timestamp.Timestamp) bool {
+	e := s.getOrCreate(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if readWTS.Less(e.wtsLocked()) {
+		return false
+	}
+	if w, ok := e.writers.min(); ok && w.Less(ts) {
+		return false
+	}
+	e.readers.add(ts)
+	return true
+}
+
+// ValidateWrite performs the write-set half of Algorithm 1 for a single key:
+// it aborts if the write at ts would interpose itself before a committed
+// read (ts < rts) or before a pending validated read (ts < max(readers)).
+// On success the transaction's timestamp is recorded in the key's pending
+// writers.
+func (s *Store) ValidateWrite(key string, ts timestamp.Timestamp) bool {
+	e := s.getOrCreate(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ts.Less(e.rts) {
+		return false
+	}
+	if r, ok := e.readers.max(); ok && ts.Less(r) {
+		return false
+	}
+	e.writers.add(ts)
+	return true
+}
+
+// RemoveReader backs out a pending read registration (abort cleanup).
+func (s *Store) RemoveReader(key string, ts timestamp.Timestamp) {
+	if e := s.get(key); e != nil {
+		e.mu.Lock()
+		e.readers.remove(ts)
+		e.mu.Unlock()
+	}
+}
+
+// RemoveWriter backs out a pending write registration (abort cleanup).
+func (s *Store) RemoveWriter(key string, ts timestamp.Timestamp) {
+	if e := s.get(key); e != nil {
+		e.mu.Lock()
+		e.writers.remove(ts)
+		e.mu.Unlock()
+	}
+}
+
+// CommitRead finalizes a committed read: it advances the key's rts to ts and
+// clears the pending reader registration.
+func (s *Store) CommitRead(key string, ts timestamp.Timestamp) {
+	e := s.getOrCreate(key)
+	e.mu.Lock()
+	if e.rts.Less(ts) {
+		e.rts = ts
+	}
+	e.readers.remove(ts)
+	e.mu.Unlock()
+}
+
+// CommitWrite finalizes a committed write: it clears the pending writer
+// registration and installs the new version at ts. Under the Thomas write
+// rule, a write older than the latest committed version is skipped — the
+// transaction still commits, but the stale value is never observable.
+func (s *Store) CommitWrite(key string, value []byte, ts timestamp.Timestamp) {
+	e := s.getOrCreate(key)
+	e.mu.Lock()
+	e.writers.remove(ts)
+	e.installLocked(value, ts, s.maxVersions)
+	e.mu.Unlock()
+}
+
+// installLocked appends (value, ts) to the version chain if ts is newer than
+// the latest version; otherwise it applies the Thomas write rule. Caller
+// holds e.mu.
+func (e *entry) installLocked(value []byte, ts timestamp.Timestamp, maxVersions int) {
+	if ts.Less(e.wtsLocked()) || ts == e.wtsLocked() {
+		return // Thomas write rule: the stale write is never observable
+	}
+	e.versions = append(e.versions, Version{Value: value, WTS: ts})
+	if maxVersions > 0 && len(e.versions) > maxVersions {
+		n := copy(e.versions, e.versions[len(e.versions)-maxVersions:])
+		e.versions = e.versions[:n]
+	}
+}
+
+// Pending reports the sizes of the key's pending reader and writer sets.
+// Zero values are returned for unknown keys. Intended for tests and for the
+// recovery path's sanity checks.
+func (s *Store) Pending(key string) (readers, writers int) {
+	e := s.get(key)
+	if e == nil {
+		return 0, 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.readers.ts), len(e.writers.ts)
+}
+
+// Meta returns the key's committed metadata (latest wts and rts).
+func (s *Store) Meta(key string) (wts, rts timestamp.Timestamp) {
+	e := s.get(key)
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.wtsLocked(), e.rts
+}
+
+// Versions returns a copy of the key's committed version chain, oldest
+// first. Intended for tests.
+func (s *Store) Versions(key string) []Version {
+	e := s.get(key)
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Version, len(e.versions))
+	copy(out, e.versions)
+	return out
+}
+
+// Len returns the number of keys present (committed or with pending state).
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// KeyState is one key's transferable committed state: the latest version
+// and the read timestamp. It is the unit of replica state transfer.
+type KeyState struct {
+	Key   string
+	Value []byte
+	WTS   timestamp.Timestamp
+	RTS   timestamp.Timestamp
+}
+
+// NumShards returns the shard count, the pagination unit for state export.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ExportShard snapshots the committed state of one shard for state
+// transfer. Pending readers/writers are deliberately excluded: in-flight
+// transactions are reconciled by the epoch change that follows a transfer.
+func (s *Store) ExportShard(i int) []KeyState {
+	if i < 0 || i >= len(s.shards) {
+		return nil
+	}
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	keys := make([]string, 0, len(sh.m))
+	for k := range sh.m {
+		keys = append(keys, k)
+	}
+	sh.mu.RUnlock()
+	out := make([]KeyState, 0, len(keys))
+	for _, k := range keys {
+		e := s.get(k)
+		if e == nil {
+			continue
+		}
+		e.mu.Lock()
+		if len(e.versions) > 0 {
+			v := e.versions[len(e.versions)-1]
+			out = append(out, KeyState{Key: k, Value: v.Value, WTS: v.WTS, RTS: e.rts})
+		}
+		e.mu.Unlock()
+	}
+	return out
+}
+
+// ImportState installs transferred key states: each key's latest version
+// and read timestamp. Imports are idempotent and monotone (Thomas rule for
+// versions, max for rts), so overlapping transfers are safe.
+func (s *Store) ImportState(states []KeyState) {
+	for i := range states {
+		st := &states[i]
+		s.Load(st.Key, st.Value, st.WTS)
+		if !st.RTS.IsZero() {
+			s.CommitRead(st.Key, st.RTS)
+		}
+	}
+}
+
+// Range calls fn for every key's latest committed version until fn returns
+// false. Iteration order is unspecified. Keys with no committed version are
+// skipped. The lock discipline is per entry, so Range does not block
+// concurrent transactions on other keys.
+func (s *Store) Range(fn func(key string, v Version) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		keys := make([]string, 0, len(sh.m))
+		for k := range sh.m {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
+		for _, k := range keys {
+			v, ok := s.Read(k)
+			if !ok {
+				continue
+			}
+			if !fn(k, v) {
+				return
+			}
+		}
+	}
+}

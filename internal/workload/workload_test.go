@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformBounds(t *testing.T) {
+	c := NewUniform(100)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		k := c.Next(rng)
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+	if c.N() != 100 {
+		t.Fatalf("N = %d", c.N())
+	}
+}
+
+func TestZipfianBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, theta := range []float64{0.1, 0.5, 0.9, 0.99} {
+			z := NewZipfian(1000, theta)
+			for i := 0; i < 200; i++ {
+				k := z.Next(rng)
+				if k < 0 || k >= 1000 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfianSkewIncreasesWithTheta(t *testing.T) {
+	// Higher theta must concentrate more mass on the most popular key.
+	const n = 10000
+	const samples = 200000
+	top := func(theta float64) float64 {
+		z := NewZipfian(n, theta)
+		rng := rand.New(rand.NewSource(42))
+		hits := 0
+		for i := 0; i < samples; i++ {
+			if z.Next(rng) == 0 {
+				hits++
+			}
+		}
+		return float64(hits) / samples
+	}
+	t5, t9 := top(0.5), top(0.9)
+	if !(t9 > t5) {
+		t.Fatalf("top-key mass: theta=0.9 %.4f <= theta=0.5 %.4f", t9, t5)
+	}
+	if t9 < 0.01 {
+		t.Fatalf("theta=0.9 top-key mass %.4f implausibly low", t9)
+	}
+}
+
+func TestZipfianMatchesTheory(t *testing.T) {
+	// P(key 0) should be 1/zeta(n, theta) within sampling error.
+	const n = 1000
+	theta := 0.8
+	z := NewZipfian(n, theta)
+	want := 1.0 / zeta(n, theta)
+	rng := rand.New(rand.NewSource(7))
+	const samples = 300000
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if z.Next(rng) == 0 {
+			hits++
+		}
+	}
+	got := float64(hits) / samples
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("P(top key) = %.4f, theory %.4f", got, want)
+	}
+}
+
+func TestScrambledPreservesRangeAndSkew(t *testing.T) {
+	s := NewScrambled(NewZipfian(1000, 0.9))
+	rng := rand.New(rand.NewSource(3))
+	counts := make(map[int]int)
+	for i := 0; i < 100000; i++ {
+		k := s.Next(rng)
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// The hottest scrambled key should carry roughly the same mass as the
+	// hottest raw key, just at a different index.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/100000 < 0.05 {
+		t.Fatalf("scrambling destroyed skew: top mass %.4f", float64(max)/100000)
+	}
+}
+
+func TestNewChooser(t *testing.T) {
+	if _, ok := NewChooser(10, 0).(*Uniform); !ok {
+		t.Fatal("theta=0 should give Uniform")
+	}
+	if _, ok := NewChooser(10, 0.5).(*Scrambled); !ok {
+		t.Fatal("theta>0 should give Scrambled Zipfian")
+	}
+}
+
+func TestYCSBTShape(t *testing.T) {
+	g := NewYCSBT(NewUniform(100))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		s := g.Next(rng)
+		if len(s.RMWs) != 1 || len(s.Reads) != 0 || len(s.Writes) != 0 {
+			t.Fatalf("YCSB-T spec %+v", s)
+		}
+		if s.NumOps() != 2 {
+			t.Fatalf("NumOps = %d, want 2 (1 get + 1 put)", s.NumOps())
+		}
+	}
+	if g.Name() != "ycsb-t" {
+		t.Fatal("name")
+	}
+}
+
+func TestRetwisMixMatchesTable2(t *testing.T) {
+	g := NewRetwis(NewUniform(100000))
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	const total = 200000
+	for i := 0; i < total; i++ {
+		s := g.Next(rng)
+		counts[s.Kind]++
+
+		switch s.Kind {
+		case "add-user":
+			if len(s.RMWs) != 1 || len(s.Writes) != 2 {
+				t.Fatalf("add-user: %+v", s)
+			}
+		case "follow-unfollow":
+			if len(s.RMWs) != 2 || len(s.Writes) != 0 {
+				t.Fatalf("follow-unfollow: %+v", s)
+			}
+		case "post-tweet":
+			if len(s.RMWs) != 3 || len(s.Writes) != 2 {
+				t.Fatalf("post-tweet: %+v", s)
+			}
+		case "load-timeline":
+			if n := len(s.Reads); n < 1 || n > 10 || len(s.RMWs) != 0 || len(s.Writes) != 0 {
+				t.Fatalf("load-timeline: %+v", s)
+			}
+		default:
+			t.Fatalf("unknown kind %q", s.Kind)
+		}
+	}
+	check := func(kind string, want float64) {
+		got := float64(counts[kind]) / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s: %.3f of mix, want %.2f", kind, got, want)
+		}
+	}
+	check("add-user", 0.05)
+	check("follow-unfollow", 0.15)
+	check("post-tweet", 0.30)
+	check("load-timeline", 0.50)
+}
+
+func TestSpecKeysDistinct(t *testing.T) {
+	g := NewRetwis(NewChooser(50, 0.95)) // tiny hot keyspace forces collisions
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		s := g.Next(rng)
+		seen := map[string]bool{}
+		for _, k := range append(append(append([]string{}, s.Reads...), s.RMWs...), s.Writes...) {
+			if seen[k] {
+				t.Fatalf("duplicate key %s in spec %+v", k, s)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestValueAndKeyName(t *testing.T) {
+	if len(Value(64)) != 64 {
+		t.Fatal("value size")
+	}
+	if KeyName(7) != "key-00000007" {
+		t.Fatalf("KeyName = %q", KeyName(7))
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := NewZipfian(1<<20, 0.9)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z.Next(rng)
+	}
+}
+
+func BenchmarkRetwisNext(b *testing.B) {
+	g := NewRetwis(NewChooser(1<<20, 0.6))
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next(rng)
+	}
+}

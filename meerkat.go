@@ -1,0 +1,366 @@
+// Package meerkat is a multicore-scalable, replicated, in-memory,
+// transactional key-value store — an implementation of the system described
+// in "Meerkat: Multicore-Scalable Replicated Transactions Following the
+// Zero-Coordination Principle" (Szekeres et al., EuroSys 2020).
+//
+// Meerkat provides one-copy serializable interactive transactions over
+// n = 2f+1 replicas, tolerating f crash failures, and is designed so that
+// non-conflicting transactions require no cross-core and no cross-replica
+// coordination (the Zero-Coordination Principle): transaction state is
+// partitioned per core, storage metadata per key, timestamps come from
+// client clocks, and the commit protocol's fast path decides in a single
+// round trip to the replicas.
+//
+// # Quick start
+//
+//	cluster, err := meerkat.NewCluster(meerkat.Config{})
+//	if err != nil { ... }
+//	defer cluster.Close()
+//
+//	client, err := cluster.NewClient()
+//	if err != nil { ... }
+//
+//	txn := client.Begin()
+//	balance, _ := txn.Read("alice")
+//	txn.Write("alice", newBalance)
+//	committed, err := txn.Commit()
+//
+// Commit returns false when optimistic validation failed (a conflicting
+// transaction won); retry the transaction. See the examples directory for
+// complete programs.
+package meerkat
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"meerkat/internal/clock"
+	"meerkat/internal/recovery"
+	"meerkat/internal/replica"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/topo"
+	"meerkat/internal/transport"
+	"meerkat/internal/vstore"
+)
+
+// TransportKind selects the message fabric of a cluster.
+type TransportKind int
+
+const (
+	// TransportInproc runs all replicas in this process over per-core
+	// delivery queues — the kernel-bypass-class transport. Default.
+	TransportInproc TransportKind = iota
+	// TransportUDP runs all replicas in this process but exchanges every
+	// message over real loopback UDP sockets, paying full serialization
+	// and kernel costs (the paper's "traditional stack" regime).
+	TransportUDP
+)
+
+// Config describes a cluster. The zero value is a usable 3-replica,
+// 4-cores-per-replica, single-partition in-process deployment.
+type Config struct {
+	// Replicas per partition group; must be odd. Default 3 (f=1).
+	Replicas int
+	// Cores is the number of server threads per replica. Default 4.
+	Cores int
+	// Partitions splits the keyspace across independent replica groups
+	// (distributed transactions, §5.2.4). Default 1.
+	Partitions int
+
+	// Transport selects the fabric. Default TransportInproc.
+	Transport TransportKind
+	// UDPHost/UDPBasePort place TransportUDP sockets. Defaults:
+	// 127.0.0.1, 29000.
+	UDPHost     string
+	UDPBasePort int
+
+	// DropProb injects random message loss on the inproc transport, and
+	// Delay adds constant per-message latency, for fault-tolerance tests.
+	DropProb float64
+	Delay    time.Duration
+
+	// SharedTRecord replaces Meerkat's per-core transaction records with
+	// one mutex-protected record per replica — the TAPIR-like baseline of
+	// the paper's evaluation. For measurement, not production use.
+	SharedTRecord bool
+	// DisableFastPath forces all commits through the slow path (ablation).
+	DisableFastPath bool
+
+	// CommitTimeout bounds each protocol round-trip wait; Retries bounds
+	// resends. Defaults: 100ms, 10.
+	CommitTimeout time.Duration
+	Retries       int
+
+	// SweepInterval enables replica-side coordinator-failure detection:
+	// stalled transactions older than StaleAfter are finished by a backup
+	// coordinator. Zero disables.
+	SweepInterval time.Duration
+	StaleAfter    time.Duration
+
+	// CompactOnEpochChange trims finalized transaction records whenever an
+	// epoch change runs (checkpointing, §5.3.1).
+	CompactOnEpochChange bool
+
+	// ClockSkew, if set, gives client i a static clock offset of
+	// (i - clients/2) * ClockSkew, exercising the loose-synchronization
+	// tolerance. Correctness never depends on it.
+	ClockSkew time.Duration
+
+	// Seed makes load-balancing decisions reproducible.
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.Partitions == 0 {
+		c.Partitions = 1
+	}
+	if c.Replicas%2 == 0 {
+		return fmt.Errorf("meerkat: Replicas must be odd, got %d", c.Replicas)
+	}
+	if c.UDPHost == "" {
+		c.UDPHost = "127.0.0.1"
+	}
+	if c.UDPBasePort == 0 {
+		c.UDPBasePort = 29000
+	}
+	if c.CommitTimeout == 0 {
+		c.CommitTimeout = 100 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 10
+	}
+	return nil
+}
+
+// Cluster is a running Meerkat deployment: Partitions replica groups of
+// Replicas nodes each, plus the transport fabric connecting them to clients.
+type Cluster struct {
+	cfg  Config
+	topo topo.Topology
+	net  transport.Network
+	inet *transport.Inproc // non-nil iff inproc transport
+
+	mu       sync.Mutex
+	replicas [][]*replica.Replica // [partition][index]
+	epochs   []uint64             // per-partition epoch counters
+	nextCli  uint64
+	closed   bool
+}
+
+// NewCluster starts a cluster per cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	t := topo.Topology{Partitions: cfg.Partitions, Replicas: cfg.Replicas, Cores: cfg.Cores}
+	if !t.Validate() {
+		return nil, fmt.Errorf("meerkat: invalid configuration %+v", cfg)
+	}
+
+	c := &Cluster{cfg: cfg, topo: t, epochs: make([]uint64, cfg.Partitions)}
+	switch cfg.Transport {
+	case TransportInproc:
+		var delay func() time.Duration
+		if cfg.Delay > 0 {
+			d := cfg.Delay
+			delay = func() time.Duration { return d }
+		}
+		c.inet = transport.NewInproc(transport.InprocConfig{
+			DropProb: cfg.DropProb,
+			Delay:    delay,
+			Seed:     cfg.Seed,
+		})
+		c.net = c.inet
+	case TransportUDP:
+		// One port per (node, core); cores per node must cover the
+		// highest client core index (1+Partitions).
+		c.net = transport.NewUDP(cfg.UDPHost, cfg.UDPBasePort, maxInt(cfg.Cores, 2+cfg.Partitions))
+	default:
+		return nil, fmt.Errorf("meerkat: unknown transport %d", cfg.Transport)
+	}
+
+	for p := 0; p < cfg.Partitions; p++ {
+		group := make([]*replica.Replica, cfg.Replicas)
+		for r := 0; r < cfg.Replicas; r++ {
+			rep, err := c.newReplica(p, r, nil)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			group[r] = rep
+		}
+		c.replicas = append(c.replicas, group)
+	}
+	return c, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (c *Cluster) newReplica(p, r int, store *vstore.Store) (*replica.Replica, error) {
+	rep, err := replica.New(replica.Config{
+		Topo:                 c.topo,
+		Partition:            p,
+		Index:                r,
+		Net:                  c.net,
+		Store:                store,
+		SharedRecord:         c.cfg.SharedTRecord,
+		SweepInterval:        c.cfg.SweepInterval,
+		StaleAfter:           c.cfg.StaleAfter,
+		CompactOnEpochChange: c.cfg.CompactOnEpochChange,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Start(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Load installs key=value on every replica, bypassing the transaction
+// protocol. Use it to pre-load a database before serving traffic.
+func (c *Cluster) Load(key string, value []byte) {
+	ts := timestamp.Timestamp{Time: 1, ClientID: 0}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.topo.PartitionForKey(key)
+	for _, rep := range c.replicas[p] {
+		if rep != nil {
+			rep.Store().Load(key, value, ts)
+		}
+	}
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	reps := c.replicas
+	c.mu.Unlock()
+	for _, group := range reps {
+		for _, rep := range group {
+			if rep != nil {
+				rep.Stop()
+			}
+		}
+	}
+	if c.net != nil {
+		c.net.Close()
+	}
+}
+
+// CrashReplica stops replica r of partition p, simulating a crash: its
+// endpoints close and in-flight messages to it are dropped. The cluster
+// keeps serving as long as a majority of each group survives (transactions
+// fall back to the slow path once a fast quorum is unreachable).
+func (c *Cluster) CrashReplica(p, r int) {
+	c.mu.Lock()
+	rep := c.replicas[p][r]
+	c.replicas[p][r] = nil
+	c.mu.Unlock()
+	if rep != nil {
+		rep.Stop()
+	}
+}
+
+// RecoverReplica brings replica r of partition p back, per §5.3.1: the
+// replica restarts without its previous state, copies committed storage
+// from a live replica, and an epoch change reconciles the trecords so all
+// replicas agree on every in-flight transaction's outcome.
+func (c *Cluster) RecoverReplica(p, r int) error {
+	c.mu.Lock()
+	if c.replicas[p][r] != nil {
+		c.mu.Unlock()
+		return errors.New("meerkat: replica is not crashed")
+	}
+	donor := -1
+	for i, rep := range c.replicas[p] {
+		if i != r && rep != nil {
+			donor = i
+			break
+		}
+	}
+	c.mu.Unlock()
+	if donor < 0 {
+		return errors.New("meerkat: no live replica to recover from")
+	}
+
+	// State transfer over the wire (shard-paginated), then rejoin; the
+	// epoch change below reconciles any in-flight transactions.
+	store := vstore.New(vstore.Config{})
+	if err := recovery.SyncStoreRemote(c.net, c.topo, p, donor, store, recovery.Options{
+		Timeout: c.cfg.CommitTimeout * 5,
+	}); err != nil {
+		return err
+	}
+	rep, err := c.newReplica(p, r, store)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.replicas[p][r] = rep
+	c.mu.Unlock()
+	return c.EpochChange(p)
+}
+
+// EpochChange runs the epoch change protocol on partition p, pausing the
+// group, merging trecords, and resuming. It is invoked automatically by
+// RecoverReplica and may be called directly (e.g. to checkpoint).
+func (c *Cluster) EpochChange(p int) error {
+	c.mu.Lock()
+	c.epochs[p]++
+	epoch := c.epochs[p]
+	c.mu.Unlock()
+	_, err := recovery.RunEpochChange(c.net, c.topo, p, epoch, recovery.Options{
+		Timeout: c.cfg.CommitTimeout * 5,
+	})
+	return err
+}
+
+// replicaAt returns the live replica instance (tests, stats); nil if
+// crashed.
+func (c *Cluster) replicaAt(p, r int) *replica.Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replicas[p][r]
+}
+
+// NetworkStats reports transport counters (inproc transport only).
+func (c *Cluster) NetworkStats() (sent, delivered, dropped uint64) {
+	if c.inet == nil {
+		return
+	}
+	s := c.inet.Stats()
+	return s.Sent.Load(), s.Delivered.Load(), s.Dropped.Load()
+}
+
+// clientClock builds the clock for a new client, applying configured skew.
+func (c *Cluster) clientClock(id uint64) clock.Clock {
+	base := clock.NewReal()
+	if c.cfg.ClockSkew == 0 {
+		return base
+	}
+	offset := (int64(id) - 4) * int64(c.cfg.ClockSkew)
+	return clock.NewSkewed(base, offset, 0)
+}
+
+// nodeOf maps (partition, replica index) to the transport node id, for
+// tests that inject faults.
+func (c *Cluster) nodeOf(p, r int) uint32 { return c.topo.ReplicaNode(p, r) }
