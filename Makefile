@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# Hot-path microbenchmarks with allocation counts: codec encode/decode with
+# and without pooling, inproc request/reply round trips, and the lock-free
+# vstore read path.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEncodeDecode|BenchmarkInprocRoundTrip|BenchmarkVstoreRead' -benchmem \
+		./internal/message ./internal/transport ./internal/vstore

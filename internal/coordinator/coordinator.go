@@ -185,13 +185,11 @@ type Txn struct {
 	id          timestamp.TxnID
 }
 
-// Begin starts a new transaction.
+// Begin starts a new transaction. The read/write index maps are created
+// lazily on first use, so read-only or write-only transactions skip the
+// allocations entirely (lookups on a nil map are legal and fast).
 func (c *Coordinator) Begin() *Txn {
-	return &Txn{
-		c:        c,
-		writeIdx: make(map[string]int),
-		readIdx:  make(map[string]int),
-	}
+	return &Txn{c: c}
 }
 
 // Read returns the value of key as of this transaction's snapshot: a
@@ -208,6 +206,9 @@ func (t *Txn) Read(key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if t.readIdx == nil {
+		t.readIdx = make(map[string]int)
+	}
 	t.readIdx[key] = len(t.reads)
 	t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: ver})
 	t.readVals = append(t.readVals, val)
@@ -219,6 +220,9 @@ func (t *Txn) Write(key string, value []byte) {
 	if i, ok := t.writeIdx[key]; ok {
 		t.writes[i].Value = value
 		return
+	}
+	if t.writeIdx == nil {
+		t.writeIdx = make(map[string]int)
 	}
 	t.writeIdx[key] = len(t.writes)
 	t.writes = append(t.writes, message.WriteSetEntry{Key: key, Value: value})
@@ -370,7 +374,11 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 		// supermajority of matching responses. Once a majority is in, give
 		// the stragglers only a short grace window before taking the slow
 		// path — a crashed replica must not cost a full timeout per txn.
-		replies := make(map[uint32]message.Status, n)
+		// Repliers are tracked in a bitmask, not a map: replica counts are
+		// topologically tiny (quorums of 3 or 5), and a map here costs an
+		// allocation per commit attempt on the hot path.
+		var seen uint64 // bit i set <=> replica i replied
+		replied := 0
 		countOK, countAbort := 0, 0
 		deadline := time.NewTimer(c.cfg.Timeout)
 		var grace <-chan time.Time
@@ -383,10 +391,11 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 				if m.Type != message.TypeValidateReply || m.TID != txn.ID {
 					continue
 				}
-				if _, dup := replies[m.ReplicaID]; dup {
+				if m.ReplicaID >= 64 || seen&(1<<m.ReplicaID) != 0 {
 					continue
 				}
-				replies[m.ReplicaID] = m.Status
+				seen |= 1 << m.ReplicaID
+				replied++
 				switch m.Status {
 				case message.StatusValidatedOK:
 					countOK++
@@ -410,11 +419,11 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 						return false, nil
 					}
 				}
-				if len(replies) == n {
+				if replied == n {
 					deadline.Stop()
 					break collect
 				}
-				if len(replies) >= majority && grace == nil {
+				if replied >= majority && grace == nil {
 					g := c.cfg.Timeout / 10
 					if g <= 0 {
 						g = time.Millisecond
@@ -430,7 +439,7 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 
 		// Step 4: the fast path condition was not met. With a majority of
 		// replies, take the slow path; otherwise resend the validate.
-		if len(replies) >= majority {
+		if replied >= majority {
 			proposal := message.StatusAcceptAbort
 			if countOK >= majority {
 				proposal = message.StatusAcceptCommit
@@ -461,7 +470,8 @@ func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, 
 			m := req // copy per destination: Send stamps Src
 			ep.Send(dst, &m)
 		}
-		acks := make(map[uint32]bool, len(group))
+		var acked uint64 // bitmask, as in validatePhase
+		acks := 0
 		superseded := uint64(0)
 		deadline := time.NewTimer(c.cfg.Timeout)
 	collect:
@@ -480,8 +490,12 @@ func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, 
 				if m.View != view {
 					continue
 				}
-				acks[m.ReplicaID] = true
-				if len(acks) >= majority {
+				if m.ReplicaID >= 64 || acked&(1<<m.ReplicaID) != 0 {
+					continue
+				}
+				acked |= 1 << m.ReplicaID
+				acks++
+				if acks >= majority {
 					deadline.Stop()
 					return proposal == message.StatusAcceptCommit, nil
 				}

@@ -145,18 +145,22 @@ func (d *decoder) str() string {
 	return s
 }
 
-func (d *decoder) bytes() []byte {
+// bytes decodes a length-prefixed byte slice into dst, reusing dst's
+// capacity when it suffices. An empty field decodes as nil, so round trips
+// preserve nil-ness.
+func (d *decoder) bytes(dst []byte) []byte {
 	n := d.length()
-	if d.err != nil {
+	if d.err != nil || n == 0 {
 		return nil
 	}
-	if n == 0 {
-		return nil
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]byte, n)
 	}
-	b := make([]byte, n)
-	copy(b, d.buf[d.off:d.off+n])
+	copy(dst, d.buf[d.off:d.off+n])
 	d.off += n
-	return b
+	return dst
 }
 
 func (d *decoder) bool() bool { return d.u8() != 0 }
@@ -173,24 +177,40 @@ func (d *decoder) tid() timestamp.TxnID {
 	return timestamp.TxnID{Seq: s, ClientID: c}
 }
 
-func (d *decoder) txn() Txn {
-	var t Txn
+// grow resizes s to n elements, reusing its backing array when the capacity
+// suffices. n == 0 yields nil so decoded empty slices stay nil, matching the
+// encoder's treatment of empty fields.
+func grow[T any](s []T, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// txn decodes a transaction into t, reusing t's read/write-set capacity.
+func (d *decoder) txn(t *Txn) {
 	t.ID = d.tid()
-	if n := d.length(); n > 0 && d.err == nil {
-		t.ReadSet = make([]ReadSetEntry, n)
-		for i := 0; i < n && d.err == nil; i++ {
-			t.ReadSet[i].Key = d.str()
-			t.ReadSet[i].WTS = d.ts()
-		}
+	n := d.length()
+	if d.err != nil {
+		n = 0
 	}
-	if n := d.length(); n > 0 && d.err == nil {
-		t.WriteSet = make([]WriteSetEntry, n)
-		for i := 0; i < n && d.err == nil; i++ {
-			t.WriteSet[i].Key = d.str()
-			t.WriteSet[i].Value = d.bytes()
-		}
+	t.ReadSet = grow(t.ReadSet, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		t.ReadSet[i].Key = d.str()
+		t.ReadSet[i].WTS = d.ts()
 	}
-	return t
+	n = d.length()
+	if d.err != nil {
+		n = 0
+	}
+	t.WriteSet = grow(t.WriteSet, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		t.WriteSet[i].Key = d.str()
+		t.WriteSet[i].Value = d.bytes(t.WriteSet[i].Value)
+	}
 }
 
 // Encode appends the wire encoding of m to buf and returns the extended
@@ -248,66 +268,86 @@ func Encode(buf []byte, m *Message) []byte {
 // Decode parses one message from buf. Trailing bytes are an error, so framing
 // bugs surface immediately rather than as silent field corruption.
 func Decode(buf []byte) (*Message, error) {
-	d := decoder{buf: buf}
 	m := &Message{}
+	if err := DecodeInto(m, buf); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeInto parses one message from buf into m, overwriting every field and
+// reusing m's slice capacity where it suffices — a Message recycled through
+// the pool (or reused across a receive loop) decodes without reallocating
+// its sets. On error m's contents are unspecified. Trailing bytes are an
+// error, as in Decode.
+func DecodeInto(m *Message, buf []byte) error {
+	d := decoder{buf: buf}
 	m.Type = Type(d.u8())
 	m.Src.Node = d.u32()
 	m.Src.Core = d.u32()
-	m.Txn = d.txn()
+	d.txn(&m.Txn)
 	m.TID = d.tid()
 	m.TS = d.ts()
 	m.Status = Status(d.u8())
 	m.View = d.u64()
 	m.CoreID = d.u32()
 	m.Key = d.str()
-	m.Value = d.bytes()
+	m.Value = d.bytes(m.Value)
 	m.OK = d.bool()
 	m.Epoch = d.u64()
-	if n := d.length(); n > 0 && d.err == nil {
-		m.Records = make([]TRecordEntry, n)
-		for i := 0; i < n && d.err == nil; i++ {
-			r := &m.Records[i]
-			r.Txn = d.txn()
-			r.TS = d.ts()
-			r.Status = Status(d.u8())
-			r.View = d.u64()
-			r.AcceptView = d.u64()
-			r.CoreID = d.u32()
-		}
+	n := d.length()
+	if d.err != nil {
+		n = 0
+	}
+	m.Records = grow(m.Records, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		r := &m.Records[i]
+		d.txn(&r.Txn)
+		r.TS = d.ts()
+		r.Status = Status(d.u8())
+		r.View = d.u64()
+		r.AcceptView = d.u64()
+		r.CoreID = d.u32()
 	}
 	m.Seq = d.u64()
-	if n := d.length(); n > 0 && d.err == nil {
-		m.Entries = make([]LogEntry, n)
-		for i := 0; i < n && d.err == nil; i++ {
-			le := &m.Entries[i]
-			le.Seq = d.u64()
-			le.TID = d.tid()
-			le.TS = d.ts()
-			if wn := d.length(); wn > 0 && d.err == nil {
-				le.WriteSet = make([]WriteSetEntry, wn)
-				for j := 0; j < wn && d.err == nil; j++ {
-					le.WriteSet[j].Key = d.str()
-					le.WriteSet[j].Value = d.bytes()
-				}
-			}
+	n = d.length()
+	if d.err != nil {
+		n = 0
+	}
+	m.Entries = grow(m.Entries, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		le := &m.Entries[i]
+		le.Seq = d.u64()
+		le.TID = d.tid()
+		le.TS = d.ts()
+		wn := d.length()
+		if d.err != nil {
+			wn = 0
+		}
+		le.WriteSet = grow(le.WriteSet, wn)
+		for j := 0; j < wn && d.err == nil; j++ {
+			le.WriteSet[j].Key = d.str()
+			le.WriteSet[j].Value = d.bytes(le.WriteSet[j].Value)
 		}
 	}
-	if n := d.length(); n > 0 && d.err == nil {
-		m.State = make([]KeyState, n)
-		for i := 0; i < n && d.err == nil; i++ {
-			ks := &m.State[i]
-			ks.Key = d.str()
-			ks.Value = d.bytes()
-			ks.WTS = d.ts()
-			ks.RTS = d.ts()
-		}
+	n = d.length()
+	if d.err != nil {
+		n = 0
+	}
+	m.State = grow(m.State, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		ks := &m.State[i]
+		ks.Key = d.str()
+		ks.Value = d.bytes(ks.Value)
+		ks.WTS = d.ts()
+		ks.RTS = d.ts()
 	}
 	m.ReplicaID = d.u32()
 	if d.err != nil {
-		return nil, d.err
+		return d.err
 	}
 	if d.off != len(buf) {
-		return nil, fmt.Errorf("message: %d trailing bytes", len(buf)-d.off)
+		return fmt.Errorf("message: %d trailing bytes", len(buf)-d.off)
 	}
-	return m, nil
+	return nil
 }

@@ -1,0 +1,189 @@
+package message
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"meerkat/internal/timestamp"
+)
+
+// randomMessage builds a message with fuzzer-chosen field sizes, exercising
+// every slice-bearing field of the wire format.
+func randomMessage(rng *rand.Rand) *Message {
+	rstr := func() string {
+		b := make([]byte, rng.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	rbytes := func() []byte {
+		if rng.Intn(3) == 0 {
+			return nil
+		}
+		b := make([]byte, 1+rng.Intn(16))
+		rng.Read(b)
+		return b
+	}
+	rts := func() timestamp.Timestamp {
+		return timestamp.Timestamp{Time: rng.Int63n(1 << 30), ClientID: uint64(rng.Intn(64))}
+	}
+	rtxn := func() Txn {
+		t := Txn{ID: timestamp.TxnID{Seq: rng.Uint64() % 1000, ClientID: uint64(rng.Intn(16))}}
+		for i := rng.Intn(4); i > 0; i-- {
+			t.ReadSet = append(t.ReadSet, ReadSetEntry{Key: rstr(), WTS: rts()})
+		}
+		for i := rng.Intn(4); i > 0; i-- {
+			t.WriteSet = append(t.WriteSet, WriteSetEntry{Key: rstr(), Value: rbytes()})
+		}
+		return t
+	}
+	m := &Message{
+		Type:   Type(rng.Intn(int(TypeStateReply) + 1)),
+		Txn:    rtxn(),
+		TID:    timestamp.TxnID{Seq: rng.Uint64() % 1000, ClientID: 5},
+		TS:     rts(),
+		Status: Status(rng.Intn(int(StatusAborted) + 1)),
+		View:   rng.Uint64() % 100,
+		CoreID: uint32(rng.Intn(8)),
+		Key:    rstr(),
+		Value:  rbytes(),
+		OK:     rng.Intn(2) == 0,
+		Epoch:  rng.Uint64() % 100,
+		Seq:    rng.Uint64() % 100,
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		m.Records = append(m.Records, TRecordEntry{
+			Txn: rtxn(), TS: rts(), Status: StatusCommitted,
+			View: rng.Uint64() % 10, AcceptView: rng.Uint64() % 10, CoreID: uint32(rng.Intn(8)),
+		})
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		le := LogEntry{Seq: rng.Uint64() % 100, TID: timestamp.TxnID{Seq: 1}, TS: rts()}
+		for j := rng.Intn(3); j > 0; j-- {
+			le.WriteSet = append(le.WriteSet, WriteSetEntry{Key: rstr(), Value: rbytes()})
+		}
+		m.Entries = append(m.Entries, le)
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		m.State = append(m.State, KeyState{Key: rstr(), Value: rbytes(), WTS: rts(), RTS: rts()})
+	}
+	return m
+}
+
+// TestDecodeTruncatedPrefixes asserts that decoding ANY strict prefix of a
+// valid encoding fails with an ErrTruncated-class error — never a panic,
+// never a silent success — across a corpus of random messages.
+func TestDecodeTruncatedPrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		buf := Encode(nil, randomMessage(rng))
+		for n := 0; n < len(buf); n++ {
+			_, err := Decode(buf[:n])
+			if err == nil {
+				t.Fatalf("msg %d: decode of %d/%d-byte prefix succeeded", i, n, len(buf))
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("msg %d: prefix %d/%d: err = %v, want ErrTruncated", i, n, len(buf), err)
+			}
+		}
+	}
+}
+
+// TestDecodeCorruptedBytes flips each byte of a corpus of encodings and
+// asserts Decode never panics; if it succeeds (the flip landed in a value
+// byte, or produced a non-canonical varint), the decoded message must still
+// round-trip at the value level.
+func TestDecodeCorruptedBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		buf := Encode(nil, randomMessage(rng))
+		for off := 0; off < len(buf); off++ {
+			corrupt := append([]byte(nil), buf...)
+			corrupt[off] ^= 0xFF
+			m, err := Decode(corrupt)
+			if err != nil {
+				continue
+			}
+			m2, err := Decode(Encode(nil, m))
+			if err != nil {
+				t.Fatalf("msg %d: byte %d: re-decode of decoded corrupt message failed: %v", i, off, err)
+			}
+			if !reflect.DeepEqual(m, m2) {
+				t.Fatalf("msg %d: byte %d: corrupted decode does not round-trip", i, off)
+			}
+		}
+	}
+}
+
+// TestDecodeHugeLengthPrefix plants an absurd uvarint length where the key
+// length belongs and asserts Decode fails cheaply instead of attempting the
+// multi-gigabyte allocation the prefix claims.
+func TestDecodeHugeLengthPrefix(t *testing.T) {
+	m := &Message{Type: TypeRead, Key: "abc"}
+	buf := Encode(nil, m)
+	// Locate the key's length-prefixed bytes (0x03 'a' 'b' 'c') and replace
+	// the 1-byte length with a 5-byte uvarint claiming ~17 GiB.
+	pat := []byte{3, 'a', 'b', 'c'}
+	idx := -1
+	for i := 0; i+len(pat) <= len(buf); i++ {
+		if string(buf[i:i+len(pat)]) == string(pat) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("key bytes not found in encoding")
+	}
+	evil := append([]byte(nil), buf[:idx]...)
+	evil = append(evil, 0xFF, 0xFF, 0xFF, 0xFF, 0x3F) // uvarint ≈ 1.7e10
+	evil = append(evil, buf[idx+1:]...)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Decode(evil); err == nil {
+			t.Fatal("decode with huge length prefix succeeded")
+		}
+	})
+	// One Message allocation per run is expected; the claimed 17 GiB is not.
+	if allocs > 4 {
+		t.Fatalf("decode of corrupt length prefix allocated %v objects/op", allocs)
+	}
+}
+
+// FuzzDecode is the codec-hardening fuzz target: arbitrary bytes must never
+// panic the decoder, and anything that decodes must round-trip exactly.
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add(Encode(nil, &Message{Type: TypeCommit}))
+	f.Add(Encode(nil, sampleMessage()))
+	for i := 0; i < 8; i++ {
+		f.Add(Encode(nil, randomMessage(rng)))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Byte identity can differ (non-canonical varints decode fine), but
+		// the value must round-trip exactly.
+		m2, err := Decode(Encode(nil, m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatal("decoded message does not round-trip")
+		}
+		// DecodeInto on a recycled message must agree with Decode.
+		m3 := AcquireMessage()
+		defer ReleaseMessage(m3)
+		if err := DecodeInto(m3, data); err != nil {
+			t.Fatalf("DecodeInto disagrees with Decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m3) {
+			t.Fatal("DecodeInto result differs from Decode")
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package message
+
+import "sync"
+
+// Hot-path pooling. Encoding a message for the UDP transport needs a
+// transient buffer whose lifetime ends the moment the datagram is handed to
+// the kernel, and the in-process transport recycles whole Message structs
+// between request/reply pairs. Both cycle through sync.Pools here instead of
+// the allocator, keeping the steady-state send path allocation-free. The
+// ownership rules are documented in DESIGN.md ("Hot-path performance").
+
+// maxPooledEncoderCap bounds the buffer capacity an Encoder may carry back
+// into the pool, so one huge state-transfer encoding does not pin its buffer
+// for the rest of the process lifetime.
+const maxPooledEncoderCap = 64 << 10
+
+// Encoder is a reusable encode buffer with acquire/release semantics. The
+// zero value is usable; AcquireEncoder avoids even the Encoder allocation.
+type Encoder struct {
+	buf []byte
+}
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// AcquireEncoder returns a pooled Encoder. Pair with Release.
+func AcquireEncoder() *Encoder { return encoderPool.Get().(*Encoder) }
+
+// EncodeInto encodes m, replacing the encoder's previous contents, and
+// returns the encoded bytes. The bytes alias the encoder's internal buffer:
+// they are valid only until the next EncodeInto or Release and must not be
+// retained past either.
+func (e *Encoder) EncodeInto(m *Message) []byte {
+	e.buf = Encode(e.buf[:0], m)
+	return e.buf
+}
+
+// Bytes returns the most recently encoded contents.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Release returns the encoder to the pool, invalidating any bytes previously
+// returned by EncodeInto. Oversized buffers are dropped rather than pooled.
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledEncoderCap {
+		e.buf = nil
+	}
+	encoderPool.Put(e)
+}
+
+var messagePool = sync.Pool{New: func() any { return new(Message) }}
+
+// AcquireMessage returns a pooled, zeroed Message (its sets may retain
+// capacity from a previous life, but their lengths are zero). Pair with
+// ReleaseMessage once no other goroutine can still hold a reference — for a
+// request/reply exchange that is the receiver of the final reply, per the
+// ownership rules in DESIGN.md.
+func AcquireMessage() *Message { return messagePool.Get().(*Message) }
+
+// ReleaseMessage resets m and returns it to the pool. The caller must be the
+// sole owner: a message still sitting in a transport queue or inbox must not
+// be released.
+func ReleaseMessage(m *Message) {
+	m.Reset()
+	messagePool.Put(m)
+}
+
+// Reset clears m for reuse, keeping top-level slice capacity so a recycled
+// message re-decodes (or is re-built) without reallocating its sets.
+func (m *Message) Reset() {
+	rs, ws := m.Txn.ReadSet[:0], m.Txn.WriteSet[:0]
+	recs, ents, sts := m.Records[:0], m.Entries[:0], m.State[:0]
+	val := m.Value[:0]
+	*m = Message{}
+	m.Txn.ReadSet, m.Txn.WriteSet = rs, ws
+	m.Records, m.Entries, m.State = recs, ents, sts
+	m.Value = val
+}

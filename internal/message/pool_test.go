@@ -1,0 +1,131 @@
+package message
+
+import (
+	"reflect"
+	"testing"
+
+	"meerkat/internal/timestamp"
+)
+
+// smallMessage is a typical hot-path message: a validate request with a
+// two-key read set and a one-key write set.
+func smallMessage() *Message {
+	return &Message{
+		Type: TypeValidate,
+		Txn: Txn{
+			ID: timestamp.TxnID{Seq: 7, ClientID: 3},
+			ReadSet: []ReadSetEntry{
+				{Key: "user_1", WTS: timestamp.Timestamp{Time: 10, ClientID: 1}},
+				{Key: "user_2", WTS: timestamp.Timestamp{Time: 11, ClientID: 2}},
+			},
+			WriteSet: []WriteSetEntry{{Key: "user_1", Value: []byte("balance=42")}},
+		},
+		TID:    timestamp.TxnID{Seq: 7, ClientID: 3},
+		TS:     timestamp.Timestamp{Time: 99, ClientID: 3},
+		CoreID: 2,
+	}
+}
+
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	for _, m := range []*Message{smallMessage(), sampleMessage(), {Type: TypeCommit}} {
+		e := AcquireEncoder()
+		got := e.EncodeInto(m)
+		want := Encode(nil, m)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("EncodeInto != Encode for %v", m.Type)
+		}
+		// A second encode replaces, not appends.
+		if got2 := e.EncodeInto(m); len(got2) != len(want) {
+			t.Errorf("second EncodeInto len = %d, want %d", len(got2), len(want))
+		}
+		e.Release()
+	}
+}
+
+func TestDecodeIntoRoundTrip(t *testing.T) {
+	m := AcquireMessage()
+	defer ReleaseMessage(m)
+	// Decode a large message, then a small one, into the same Message: the
+	// second decode must fully overwrite the first (no residue), even though
+	// it reuses the larger capacity.
+	for _, src := range []*Message{sampleMessage(), smallMessage(), {Type: TypeCommit}} {
+		buf := Encode(nil, src)
+		if err := DecodeInto(m, buf); err != nil {
+			t.Fatalf("DecodeInto(%v): %v", src.Type, err)
+		}
+		// Compare via a fresh Decode, which the round-trip tests anchor to
+		// the source message; DeepEqual on values ignores spare capacity.
+		want, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, want) {
+			t.Fatalf("reused decode mismatch for %v:\ngot:  %+v\nwant: %+v", src.Type, m, want)
+		}
+	}
+}
+
+func TestMessageReset(t *testing.T) {
+	m := AcquireMessage()
+	buf := Encode(nil, sampleMessage())
+	if err := DecodeInto(m, buf); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.Type != TypeInvalid || m.Key != "" || m.OK || len(m.Txn.ReadSet) != 0 ||
+		len(m.Records) != 0 || len(m.Entries) != 0 || len(m.State) != 0 || len(m.Value) != 0 {
+		t.Fatalf("Reset left state behind: %+v", m)
+	}
+	ReleaseMessage(m)
+}
+
+// TestPooledEncodeZeroAllocs is the allocation regression gate for the send
+// path: encoding a small message through a pooled Encoder must not allocate.
+func TestPooledEncodeZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; gate runs without -race")
+	}
+	m := smallMessage()
+	// Prime the pool with a sized buffer.
+	e := AcquireEncoder()
+	e.EncodeInto(m)
+	e.Release()
+	allocs := testing.AllocsPerRun(200, func() {
+		enc := AcquireEncoder()
+		enc.EncodeInto(m)
+		enc.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled encode allocated %v objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkEncodeDecode measures the encode→decode round trip — the
+// serialization cost of one UDP message each way. The baseline sub-benchmark
+// is the pre-pooling behavior (fresh buffer, fresh Message per op); pooled
+// uses the reusable Encoder and DecodeInto with a recycled Message.
+func BenchmarkEncodeDecode(b *testing.B) {
+	src := sampleMessage()
+	b.Run("baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := Encode(nil, src)
+			if _, err := Decode(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		enc := AcquireEncoder()
+		defer enc.Release()
+		dst := AcquireMessage()
+		defer ReleaseMessage(dst)
+		for i := 0; i < b.N; i++ {
+			buf := enc.EncodeInto(src)
+			if err := DecodeInto(dst, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package message
+
+// raceEnabled reports whether the race detector is on. Race instrumentation
+// defeats sync.Pool fast paths and adds bookkeeping allocations, so the
+// allocation-count gates are meaningless under -race and skip themselves.
+const raceEnabled = true

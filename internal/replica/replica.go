@@ -222,13 +222,33 @@ func (r *Replica) Stop() {
 
 // withRecords runs fn against the record table a transaction on this core
 // belongs to: the core-private partition (Meerkat) or the shared record
-// behind its mutex (TAPIR-like).
+// behind its mutex (TAPIR-like). Cold paths (recovery, epoch change,
+// sweeping) use it for the convenience of the closure; the per-message hot
+// handlers use lockRecords/unlockRecords instead, which cost no closure
+// allocation.
 func (c *core) withRecords(fn func(p *trecord.Partition)) {
 	if c.part != nil {
 		fn(c.part)
 		return
 	}
 	c.r.shared.Do(fn)
+}
+
+// lockRecords returns the record table for this core, locking it in shared
+// mode. Pair with unlockRecords; the partition must not be retained past it.
+func (c *core) lockRecords() *trecord.Partition {
+	if c.part != nil {
+		return c.part
+	}
+	return c.r.shared.Lock()
+}
+
+// unlockRecords releases the lock taken by lockRecords (a no-op in per-core
+// mode, where the partition is private to this delivery goroutine).
+func (c *core) unlockRecords() {
+	if c.part == nil {
+		c.r.shared.Unlock()
+	}
 }
 
 // handle dispatches one inbound message. It runs on the core's delivery
@@ -261,8 +281,9 @@ func (c *core) handle(m *message.Message) {
 // shard index in Seq; OK reports whether more shards remain.
 func (c *core) handleStateRequest(m *message.Message) {
 	shard := int(m.Seq)
-	var state []message.KeyState
-	for _, ks := range c.r.store.ExportShard(shard) {
+	exported := c.r.store.ExportShard(shard)
+	state := make([]message.KeyState, 0, len(exported))
+	for _, ks := range exported {
 		state = append(state, message.KeyState{
 			Key: ks.Key, Value: ks.Value, WTS: ks.WTS, RTS: ks.RTS,
 		})
@@ -294,14 +315,13 @@ func (c *core) handleValidate(m *message.Message) {
 	if c.paused {
 		return // epoch change in progress; the coordinator will retry
 	}
+	p := c.lockRecords()
 	var reply *message.Message
-	c.withRecords(func(p *trecord.Partition) {
-		rec, created := p.GetOrCreate(m.Txn.ID)
-		if !created && rec.Status != message.StatusNone {
-			// Duplicate (a retry): re-reply with the recorded status.
-			reply = c.validateReply(m.Txn.ID, rec.Status, rec.View)
-			return
-		}
+	rec, created := p.GetOrCreate(m.Txn.ID)
+	if !created && rec.Status != message.StatusNone {
+		// Duplicate (a retry): re-reply with the recorded status.
+		reply = c.validateReply(m.Txn.ID, rec.Status, rec.View)
+	} else {
 		rec.Txn = m.Txn
 		rec.TS = m.TS
 		rec.CreatedAt = nanotime()
@@ -309,10 +329,9 @@ func (c *core) handleValidate(m *message.Message) {
 		rec.Status = st
 		rec.Registered = st == message.StatusValidatedOK
 		reply = c.validateReply(m.Txn.ID, st, rec.View)
-	})
-	if reply != nil {
-		c.send(m.Src, reply)
 	}
+	c.unlockRecords()
+	c.send(m.Src, reply)
 }
 
 func (c *core) validateReply(tid timestamp.TxnID, st message.Status, view uint64) *message.Message {
@@ -330,36 +349,34 @@ func (c *core) handleAccept(m *message.Message) {
 	if c.paused {
 		return
 	}
+	p := c.lockRecords()
 	var reply *message.Message
-	c.withRecords(func(p *trecord.Partition) {
-		rec, created := p.GetOrCreate(m.TID)
-		if created {
-			rec.CreatedAt = nanotime()
+	rec, created := p.GetOrCreate(m.TID)
+	if created {
+		rec.CreatedAt = nanotime()
+	}
+	// A replica that missed the validate learns the transaction body
+	// from the accept, so it can apply the write phase on commit.
+	if len(rec.Txn.ReadSet) == 0 && len(rec.Txn.WriteSet) == 0 &&
+		(len(m.Txn.ReadSet) > 0 || len(m.Txn.WriteSet) > 0) {
+		rec.Txn = m.Txn
+		rec.TS = m.TS
+	}
+	switch {
+	case rec.Status.Final():
+		// Already decided; ack so the (backup) coordinator finishes.
+		// Consistency is guaranteed: all coordinators reach the same
+		// decision (§5.3.2).
+		reply = &message.Message{
+			Type: message.TypeAcceptReply, TID: m.TID, OK: true,
+			View: m.View, ReplicaID: uint32(c.r.cfg.Index),
 		}
-		// A replica that missed the validate learns the transaction body
-		// from the accept, so it can apply the write phase on commit.
-		if len(rec.Txn.ReadSet) == 0 && len(rec.Txn.WriteSet) == 0 &&
-			(len(m.Txn.ReadSet) > 0 || len(m.Txn.WriteSet) > 0) {
-			rec.Txn = m.Txn
-			rec.TS = m.TS
+	case m.View < rec.View:
+		reply = &message.Message{
+			Type: message.TypeAcceptReply, TID: m.TID, OK: false,
+			View: rec.View, ReplicaID: uint32(c.r.cfg.Index),
 		}
-		if rec.Status.Final() {
-			// Already decided; ack so the (backup) coordinator finishes.
-			// Consistency is guaranteed: all coordinators reach the same
-			// decision (§5.3.2).
-			reply = &message.Message{
-				Type: message.TypeAcceptReply, TID: m.TID, OK: true,
-				View: m.View, ReplicaID: uint32(c.r.cfg.Index),
-			}
-			return
-		}
-		if m.View < rec.View {
-			reply = &message.Message{
-				Type: message.TypeAcceptReply, TID: m.TID, OK: false,
-				View: rec.View, ReplicaID: uint32(c.r.cfg.Index),
-			}
-			return
-		}
+	default:
 		rec.View = m.View
 		rec.AcceptView = m.View
 		rec.Status = m.Status // ACCEPT-COMMIT or ACCEPT-ABORT
@@ -367,7 +384,8 @@ func (c *core) handleAccept(m *message.Message) {
 			Type: message.TypeAcceptReply, TID: m.TID, OK: true,
 			View: m.View, ReplicaID: uint32(c.r.cfg.Index),
 		}
-	})
+	}
+	c.unlockRecords()
 	c.send(m.Src, reply)
 }
 
@@ -377,15 +395,13 @@ func (c *core) handleCommit(m *message.Message) {
 	if c.paused {
 		return // the epoch-change merge will finalize it consistently
 	}
-	c.withRecords(func(p *trecord.Partition) {
-		rec := p.Get(m.TID)
-		if rec == nil {
-			// This replica never saw the transaction (dropped validate);
-			// it will learn the outcome during the next epoch change.
-			return
-		}
+	p := c.lockRecords()
+	if rec := p.Get(m.TID); rec != nil {
 		finalizeRecord(c.r.store, rec, m.Status)
-	})
+	}
+	// A nil record means this replica never saw the transaction (dropped
+	// validate); it will learn the outcome during the next epoch change.
+	c.unlockRecords()
 }
 
 // finalizeRecord moves rec to final status st and applies the write phase.

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,8 +19,20 @@ type InprocConfig struct {
 	// Delay, if non-nil, returns an extra delivery delay sampled per
 	// message. Delayed messages may be reordered relative to later sends.
 	Delay func() time.Duration
-	// Seed seeds the drop-decision RNG so fault schedules are repeatable.
+	// Seed seeds the drop-decision PRNGs so fault schedules are repeatable.
+	// Each endpoint derives its own PRNG state as
+	//
+	//	mix64(uint64(Seed) ^ node<<32 ^ core)
+	//
+	// (mix64 is the splitmix64 finalizer), so drop decisions are
+	// deterministic given Seed and each endpoint's send sequence, without
+	// any cross-endpoint synchronization.
 	Seed int64
+	// Batch is the maximum number of queued messages a delivery goroutine
+	// drains per wakeup, the analogue of polling a NIC ring in bursts:
+	// under load the handler loop runs without re-entering the scheduler
+	// between messages. Defaults to 32; 1 disables batching.
+	Batch int
 }
 
 // InprocStats counts network activity. Read with the atomic Load methods.
@@ -35,6 +46,9 @@ type InprocStats struct {
 // drained by a dedicated goroutine, modelling one server thread polling one
 // NIC queue. Sends between endpoints are direct channel hand-offs with no
 // serialization, the stand-in for the paper's eRPC kernel-bypass stack.
+// There is no shared mutable state on the send path — per the paper's
+// zero-coordination discipline, concurrent senders contend only on the
+// destination's channel.
 type Inproc struct {
 	cfg   InprocConfig
 	stats InprocStats
@@ -46,9 +60,6 @@ type Inproc struct {
 	// filter, when set, decides per (src, dst) whether a message may pass.
 	// It implements partitions and crashed nodes.
 	filter atomic.Pointer[func(src, dst message.Addr) bool]
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
 }
 
 // NewInproc returns an in-process network with the given configuration.
@@ -56,10 +67,12 @@ func NewInproc(cfg InprocConfig) *Inproc {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 8192
 	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
 	return &Inproc{
 		cfg:       cfg,
 		endpoints: make(map[message.Addr]*inprocEndpoint),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -109,6 +122,7 @@ func (n *Inproc) Listen(addr message.Addr, h Handler) (Endpoint, error) {
 		ch:   make(chan *message.Message, n.cfg.QueueDepth),
 		quit: make(chan struct{}),
 	}
+	ep.rng.state.Store(mix64(uint64(n.cfg.Seed) ^ uint64(addr.Node)<<32 ^ uint64(addr.Core)))
 	n.endpoints[addr] = ep
 	go ep.run()
 	return ep, nil
@@ -129,22 +143,19 @@ func (n *Inproc) Close() error {
 	return nil
 }
 
-// dispatch routes m from src to dst, applying drops, filters, and delays.
-func (n *Inproc) dispatch(src, dst message.Addr, m *message.Message) error {
+// dispatch routes m from the sending endpoint to dst, applying drops,
+// filters, and delays. Drop decisions come from the sender's own PRNG, so
+// concurrent senders never serialize on a shared RNG lock.
+func (n *Inproc) dispatch(src *inprocEndpoint, dst message.Addr, m *message.Message) error {
 	n.stats.Sent.Add(1)
 
-	if f := n.filter.Load(); f != nil && !(*f)(src, dst) {
+	if f := n.filter.Load(); f != nil && !(*f)(src.addr, dst) {
 		n.stats.Dropped.Add(1)
 		return nil // silently dropped, like a real network
 	}
-	if n.cfg.DropProb > 0 {
-		n.rngMu.Lock()
-		drop := n.rng.Float64() < n.cfg.DropProb
-		n.rngMu.Unlock()
-		if drop {
-			n.stats.Dropped.Add(1)
-			return nil
-		}
+	if n.cfg.DropProb > 0 && src.rng.float64() < n.cfg.DropProb {
+		n.stats.Dropped.Add(1)
+		return nil
 	}
 
 	n.mu.RLock()
@@ -165,6 +176,31 @@ func (n *Inproc) dispatch(src, dst message.Addr, m *message.Message) error {
 	return nil
 }
 
+// dropRNG is a lock-free splitmix64 PRNG: each draw is one atomic add plus
+// the finalizer, so concurrent sends on one endpoint neither race nor
+// serialize. For a single-goroutine sender the sequence is exactly
+// splitmix64(seed), making fault schedules repeatable given InprocConfig.Seed.
+type dropRNG struct {
+	state atomic.Uint64
+}
+
+// mix64 is the splitmix64 finalizer, used both to derive endpoint seeds and
+// to whiten each draw.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *dropRNG) float64() float64 {
+	x := mix64(r.state.Add(0x9e3779b97f4a7c15))
+	return float64(x>>11) / (1 << 53)
+}
+
 type inprocEndpoint struct {
 	net    *Inproc
 	addr   message.Addr
@@ -172,15 +208,30 @@ type inprocEndpoint struct {
 	ch     chan *message.Message
 	quit   chan struct{}
 	closed atomic.Bool
+	rng    dropRNG // per-endpoint drop PRNG; see InprocConfig.Seed
 }
 
+// run is the delivery loop: one blocking receive per wakeup, then a
+// non-blocking drain of up to Batch-1 more queued messages. Bursts are
+// handled without bouncing through the scheduler per message — the software
+// analogue of NIC-ring burst polling.
 func (ep *inprocEndpoint) run() {
+	batch := ep.net.cfg.Batch
 	for {
 		select {
 		case <-ep.quit:
 			return
 		case m := <-ep.ch:
 			ep.h(m)
+		drain:
+			for i := 1; i < batch; i++ {
+				select {
+				case m := <-ep.ch:
+					ep.h(m)
+				default:
+					break drain
+				}
+			}
 		}
 	}
 }
@@ -207,7 +258,7 @@ func (ep *inprocEndpoint) Send(dst message.Addr, m *message.Message) error {
 		return ErrClosed
 	}
 	m.Src = ep.addr
-	return ep.net.dispatch(ep.addr, dst, m)
+	return ep.net.dispatch(ep, dst, m)
 }
 
 // Close implements Endpoint.

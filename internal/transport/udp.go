@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"meerkat/internal/message"
 )
@@ -15,8 +16,14 @@ import (
 // This is the stand-in for the paper's traditional Linux UDP stack baseline.
 type UDP struct {
 	host         string
+	ip           net.IP // parsed once; per-send parsing is pure overhead
 	basePort     int
 	coresPerNode int
+
+	// addrs caches resolved *net.UDPAddr per destination so the send path
+	// does not rebuild (and re-allocate) the same sockaddr per message.
+	// Entries are immutable once stored.
+	addrs sync.Map // message.Addr -> *net.UDPAddr
 
 	mu     sync.Mutex
 	eps    []*udpEndpoint
@@ -30,7 +37,16 @@ func NewUDP(host string, basePort, coresPerNode int) *UDP {
 	if coresPerNode <= 0 {
 		coresPerNode = 128
 	}
-	return &UDP{host: host, basePort: basePort, coresPerNode: coresPerNode}
+	return &UDP{host: host, ip: net.ParseIP(host), basePort: basePort, coresPerNode: coresPerNode}
+}
+
+// udpAddr returns the cached sockaddr for dst, resolving it on first use.
+func (n *UDP) udpAddr(dst message.Addr) *net.UDPAddr {
+	if a, ok := n.addrs.Load(dst); ok {
+		return a.(*net.UDPAddr)
+	}
+	a, _ := n.addrs.LoadOrStore(dst, &net.UDPAddr{IP: n.ip, Port: n.Port(dst)})
+	return a.(*net.UDPAddr)
 }
 
 // Port returns the UDP port assigned to addr. Node ids are compacted into
@@ -63,7 +79,7 @@ func (n *UDP) Listen(addr message.Addr, h Handler) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: core %d out of range (coresPerNode=%d)", addr.Core, n.coresPerNode)
 	}
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{
-		IP:   net.ParseIP(n.host),
+		IP:   n.ip,
 		Port: n.Port(addr),
 	})
 	if err != nil {
@@ -89,17 +105,11 @@ func (n *UDP) Close() error {
 }
 
 type udpEndpoint struct {
-	net  *UDP
-	addr message.Addr
-	conn *net.UDPConn
-	h    Handler
-
-	mu     sync.Mutex
-	closed bool
-}
-
-var udpBufPool = sync.Pool{
-	New: func() any { return make([]byte, 0, 2048) },
+	net    *UDP
+	addr   message.Addr
+	conn   *net.UDPConn
+	h      Handler
+	closed atomic.Bool
 }
 
 func (ep *udpEndpoint) readLoop() {
@@ -120,22 +130,18 @@ func (ep *udpEndpoint) readLoop() {
 // Addr implements Endpoint.
 func (ep *udpEndpoint) Addr() message.Addr { return ep.addr }
 
-// Send implements Endpoint.
+// Send implements Endpoint. The encode buffer comes from the shared message
+// pool and is released as soon as the datagram is handed to the kernel
+// (WriteToUDP copies it), so steady-state sends allocate nothing beyond what
+// the kernel path itself costs.
 func (ep *udpEndpoint) Send(dst message.Addr, m *message.Message) error {
-	ep.mu.Lock()
-	closed := ep.closed
-	ep.mu.Unlock()
-	if closed {
+	if ep.closed.Load() {
 		return ErrClosed
 	}
 	m.Src = ep.addr
-	buf := udpBufPool.Get().([]byte)
-	buf = message.Encode(buf[:0], m)
-	_, err := ep.conn.WriteToUDP(buf, &net.UDPAddr{
-		IP:   net.ParseIP(ep.net.host),
-		Port: ep.net.Port(dst),
-	})
-	udpBufPool.Put(buf) //nolint:staticcheck // slice reuse is the point
+	enc := message.AcquireEncoder()
+	_, err := ep.conn.WriteToUDP(enc.EncodeInto(m), ep.net.udpAddr(dst))
+	enc.Release()
 	if err != nil {
 		// UDP is best-effort end to end; surface only local socket faults.
 		return err
@@ -145,12 +151,8 @@ func (ep *udpEndpoint) Send(dst message.Addr, m *message.Message) error {
 
 // Close implements Endpoint.
 func (ep *udpEndpoint) Close() error {
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	if ep.closed.Swap(true) {
 		return nil
 	}
-	ep.closed = true
-	ep.mu.Unlock()
 	return ep.conn.Close()
 }

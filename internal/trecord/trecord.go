@@ -137,12 +137,25 @@ func NewShared() *Shared {
 }
 
 // Do runs fn with the record table locked. All access to the underlying
-// partition must go through Do; fn must not retain the partition.
+// partition must go through Do (or a Lock/Unlock pair); fn must not retain
+// the partition.
 func (s *Shared) Do(fn func(p *Partition)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fn(s.p)
 }
+
+// Lock acquires the record table's mutex and returns the partition. It is
+// the closure-free variant of Do for per-message hot paths, where a captured
+// closure would cost an allocation per message. The caller must call Unlock
+// and must not retain the partition past it.
+func (s *Shared) Lock() *Partition {
+	s.mu.Lock()
+	return s.p
+}
+
+// Unlock releases the mutex taken by Lock.
+func (s *Shared) Unlock() { s.mu.Unlock() }
 
 // Len returns the number of records (taking the lock).
 func (s *Shared) Len() int {

@@ -13,10 +13,18 @@
 // transactions touching disjoint keys never contend — the storage half of
 // the Zero-Coordination Principle. The same store backs Meerkat, Meerkat-PB,
 // TAPIR-like, and KuaFu++, mirroring the paper's shared storage layer.
+//
+// Reads take a lock-free fast path: the key index is a sync.Map per shard
+// (lock-free hits once a key is in the read-mostly portion) and each entry
+// publishes its latest committed version through an atomic.Pointer snapshot.
+// A read of a committed key therefore touches zero mutexes; only validation
+// and version install — the paper's "small atomic regions" — take the
+// per-key lock. See DESIGN.md ("Hot-path performance") for the invariant.
 package vstore
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"meerkat/internal/timestamp"
 )
@@ -77,9 +85,17 @@ func (s *tsSet) max() (timestamp.Timestamp, bool) {
 
 // entry is the per-key record. Its mutex is the only lock a non-conflicting
 // transaction ever takes in the storage layer, and only for the duration of
-// one check or install — the paper's "small atomic regions".
+// one check or install — the paper's "small atomic regions". Plain reads
+// bypass even that: latest holds an immutable snapshot of the newest
+// committed version, published atomically by installLocked.
 type entry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+
+	// latest is the lock-free read snapshot: a pointer to an immutable copy
+	// of versions' last element, nil iff the key has no committed version.
+	// Written only under mu; read without any lock.
+	latest atomic.Pointer[Version]
+
 	versions []Version // ascending by WTS; last is the latest committed
 	rts      timestamp.Timestamp
 	readers  tsSet
@@ -115,9 +131,11 @@ type Store struct {
 	maxVersions int
 }
 
+// shard holds one slice of the key index. sync.Map fits the access pattern
+// exactly: after warmup the keyset is stable, so lookups hit the read-only
+// portion — an atomic load, no mutex, no allocation. Values are *entry.
 type shard struct {
-	mu sync.RWMutex
-	m  map[string]*entry
+	m sync.Map
 }
 
 // New returns an empty Store.
@@ -133,11 +151,7 @@ func New(cfg Config) *Store {
 	if maxV == 0 {
 		maxV = 8
 	}
-	s := &Store{shards: make([]shard, n), mask: uint64(n - 1), maxVersions: maxV}
-	for i := range s.shards {
-		s.shards[i].m = make(map[string]*entry)
-	}
-	return s
+	return &Store{shards: make([]shard, n), mask: uint64(n - 1), maxVersions: maxV}
 }
 
 // fnv1a hashes key without allocating.
@@ -158,32 +172,23 @@ func (s *Store) shardFor(key string) *shard {
 	return &s.shards[fnv1a(key)&s.mask]
 }
 
-// get returns the entry for key, or nil if absent.
+// get returns the entry for key, or nil if absent. Lock-free on the hit
+// path: sync.Map.Load on a warm key is an atomic load of the read-only map.
 func (s *Store) get(key string) *entry {
-	sh := s.shardFor(key)
-	sh.mu.RLock()
-	e := sh.m[key]
-	sh.mu.RUnlock()
-	return e
+	if v, ok := s.shardFor(key).m.Load(key); ok {
+		return v.(*entry)
+	}
+	return nil
 }
 
 // getOrCreate returns the entry for key, creating it if absent.
 func (s *Store) getOrCreate(key string) *entry {
 	sh := s.shardFor(key)
-	sh.mu.RLock()
-	e := sh.m[key]
-	sh.mu.RUnlock()
-	if e != nil {
-		return e
+	if v, ok := sh.m.Load(key); ok {
+		return v.(*entry)
 	}
-	sh.mu.Lock()
-	e = sh.m[key]
-	if e == nil {
-		e = &entry{}
-		sh.m[key] = e
-	}
-	sh.mu.Unlock()
-	return e
+	v, _ := sh.m.LoadOrStore(key, &entry{})
+	return v.(*entry)
 }
 
 // Load installs an initial version of key at ts, bypassing concurrency
@@ -199,25 +204,34 @@ func (s *Store) Load(key string, value []byte, ts timestamp.Timestamp) {
 // has never been written; the returned WTS is then Zero, which is exactly
 // the version a read-set entry should carry so that validation detects a
 // concurrent first write.
+//
+// Read takes no locks: it is two atomic loads (shard index, version
+// snapshot), so read-dominated workloads contend on nothing.
 func (s *Store) Read(key string) (Version, bool) {
 	e := s.get(key)
 	if e == nil {
 		return Version{}, false
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if len(e.versions) == 0 {
-		return Version{}, false
+	if v := e.latest.Load(); v != nil {
+		return *v, true
 	}
-	return e.versions[len(e.versions)-1], true
+	return Version{}, false
 }
 
 // ReadAt returns the newest committed version of key with WTS <= ts. It
 // serves reads that must not observe writes later than a chosen timestamp.
+// When the latest committed version already satisfies ts — the common case
+// for current-time reads — it is answered from the lock-free snapshot;
+// only older-version reads walk the history under the per-key lock.
 func (s *Store) ReadAt(key string, ts timestamp.Timestamp) (Version, bool) {
 	e := s.get(key)
 	if e == nil {
 		return Version{}, false
+	}
+	if v := e.latest.Load(); v == nil {
+		return Version{}, false
+	} else if v.WTS.LessEq(ts) {
+		return *v, true
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -311,7 +325,10 @@ func (s *Store) CommitWrite(key string, value []byte, ts timestamp.Timestamp) {
 
 // installLocked appends (value, ts) to the version chain if ts is newer than
 // the latest version; otherwise it applies the Thomas write rule. Caller
-// holds e.mu.
+// holds e.mu. On install it publishes the new version through e.latest, so
+// lock-free readers observe it atomically; the published Version is a copy
+// and is never mutated afterwards (versions may be trimmed or moved, the
+// snapshot may not alias them).
 func (e *entry) installLocked(value []byte, ts timestamp.Timestamp, maxVersions int) {
 	if ts.Less(e.wtsLocked()) || ts == e.wtsLocked() {
 		return // Thomas write rule: the stale write is never observable
@@ -321,6 +338,7 @@ func (e *entry) installLocked(value []byte, ts timestamp.Timestamp, maxVersions 
 		n := copy(e.versions, e.versions[len(e.versions)-maxVersions:])
 		e.versions = e.versions[:n]
 	}
+	e.latest.Store(&Version{Value: value, WTS: ts})
 }
 
 // Pending reports the sizes of the key's pending reader and writer sets.
@@ -365,10 +383,10 @@ func (s *Store) Versions(key string) []Version {
 func (s *Store) Len() int {
 	n := 0
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		n += len(sh.m)
-		sh.mu.RUnlock()
+		s.shards[i].m.Range(func(_, _ any) bool {
+			n++
+			return true
+		})
 	}
 	return n
 }
@@ -392,26 +410,17 @@ func (s *Store) ExportShard(i int) []KeyState {
 	if i < 0 || i >= len(s.shards) {
 		return nil
 	}
-	sh := &s.shards[i]
-	sh.mu.RLock()
-	keys := make([]string, 0, len(sh.m))
-	for k := range sh.m {
-		keys = append(keys, k)
-	}
-	sh.mu.RUnlock()
-	out := make([]KeyState, 0, len(keys))
-	for _, k := range keys {
-		e := s.get(k)
-		if e == nil {
-			continue
-		}
+	var out []KeyState
+	s.shards[i].m.Range(func(k, v any) bool {
+		e := v.(*entry)
 		e.mu.Lock()
 		if len(e.versions) > 0 {
-			v := e.versions[len(e.versions)-1]
-			out = append(out, KeyState{Key: k, Value: v.Value, WTS: v.WTS, RTS: e.rts})
+			lv := e.versions[len(e.versions)-1]
+			out = append(out, KeyState{Key: k.(string), Value: lv.Value, WTS: lv.WTS, RTS: e.rts})
 		}
 		e.mu.Unlock()
-	}
+		return true
+	})
 	return out
 }
 
@@ -430,25 +439,24 @@ func (s *Store) ImportState(states []KeyState) {
 
 // Range calls fn for every key's latest committed version until fn returns
 // false. Iteration order is unspecified. Keys with no committed version are
-// skipped. The lock discipline is per entry, so Range does not block
-// concurrent transactions on other keys.
+// skipped. Versions are read from the lock-free snapshots, so Range never
+// blocks concurrent transactions.
 func (s *Store) Range(fn func(key string, v Version) bool) {
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		keys := make([]string, 0, len(sh.m))
-		for k := range sh.m {
-			keys = append(keys, k)
-		}
-		sh.mu.RUnlock()
-		for _, k := range keys {
-			v, ok := s.Read(k)
-			if !ok {
-				continue
+		stop := false
+		s.shards[i].m.Range(func(k, v any) bool {
+			lv := v.(*entry).latest.Load()
+			if lv == nil {
+				return true
 			}
-			if !fn(k, v) {
-				return
+			if !fn(k.(string), *lv) {
+				stop = true
+				return false
 			}
+			return true
+		})
+		if stop {
+			return
 		}
 	}
 }
