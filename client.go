@@ -40,6 +40,7 @@ func (c *Cluster) NewClient() (*Client, error) {
 		Retries:         c.cfg.Retries,
 		DisableFastPath: c.cfg.DisableFastPath,
 		Seed:            c.cfg.Seed + int64(id),
+		Obs:             c.obs.NewShard(),
 	})
 	if err != nil {
 		return nil, err

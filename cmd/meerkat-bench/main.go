@@ -29,20 +29,23 @@ import (
 	"time"
 
 	"meerkat/internal/bench"
+	"meerkat/internal/obs"
 	"meerkat/internal/sim"
 )
 
 var (
-	exp        = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|calibrate|all")
-	measure    = flag.Duration("measure", 500*time.Millisecond, "measured window per real data point")
-	keys       = flag.Int("keys", 65536, "pre-loaded keys for real runs")
-	threadsCSV = flag.String("threads", "2,4,8,16,32,48,64,80", "simulated thread counts")
-	realCSV    = flag.String("real-threads", "1,2,4", "measured thread counts (bounded by host cores)")
-	zipfCSV    = flag.String("zipfs", "0,0.2,0.4,0.6,0.7,0.8,0.87,0.9,0.95,0.99", "zipf coefficients for figs 6/7")
-	simThreads = flag.Int("sim-threads", 64, "")
-	calibrated = flag.Bool("calibrated", false, "use host-calibrated simulator parameters instead of paper-anchored defaults")
-	skipReal   = flag.Bool("skip-real", false, "skip the measured (real implementation) runs")
-	skipSim    = flag.Bool("skip-sim", false, "skip the simulated runs")
+	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|calibrate|all")
+	measure     = flag.Duration("measure", 500*time.Millisecond, "measured window per real data point")
+	keys        = flag.Int("keys", 65536, "pre-loaded keys for real runs")
+	threadsCSV  = flag.String("threads", "2,4,8,16,32,48,64,80", "simulated thread counts")
+	realCSV     = flag.String("real-threads", "1,2,4", "measured thread counts (bounded by host cores)")
+	zipfCSV     = flag.String("zipfs", "0,0.2,0.4,0.6,0.7,0.8,0.87,0.9,0.95,0.99", "zipf coefficients for figs 6/7")
+	simThreads  = flag.Int("sim-threads", 64, "")
+	calibrated  = flag.Bool("calibrated", false, "use host-calibrated simulator parameters instead of paper-anchored defaults")
+	skipReal    = flag.Bool("skip-real", false, "skip the measured (real implementation) runs")
+	skipSim     = flag.Bool("skip-sim", false, "skip the simulated runs")
+	jsonPath    = flag.String("json", "", "write machine-readable results (goodput, latency percentiles, abort rates, fast/slow path counts) to this file")
+	metricsAddr = flag.String("metrics-addr", "", "serve live metrics (/metrics, /debug/vars, /debug/pprof) on this address while measured runs execute")
 )
 
 func parseInts(csv string) []int {
@@ -81,6 +84,19 @@ func main() {
 		params = sim.Calibrate()
 	}
 	opts := bench.Options{Measure: *measure, Keys: *keys}
+	if *metricsAddr != "" {
+		// One registry observes every system the sweeps build; the live
+		// exporter shows cumulative counters across the whole invocation.
+		opts.Obs = obs.NewRegistry()
+		srv, addr, err := obs.Serve(*metricsAddr, opts.Obs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", addr)
+	}
+	var report bench.Report
 	simTh := parseInts(*threadsCSV)
 	realTh := parseInts(*realCSV)
 	zipfs := parseFloats(*zipfCSV)
@@ -123,7 +139,18 @@ func main() {
 		}
 		if !*skipReal {
 			run("Figure 1 (measured on this host)", func() error {
-				_, err := bench.Fig1Sweep(out, realTh, *measure)
+				rs, err := bench.Fig1Sweep(out, realTh, *measure)
+				var pts []bench.Point
+				for _, r := range rs {
+					name := r.Transport
+					if r.SharedCounter {
+						name += "+counter"
+					}
+					pts = append(pts, bench.Point{
+						System: name, X: float64(r.ServerThreads), Goodput: r.Throughput(),
+					})
+				}
+				report.Add("fig1", pts)
 				return err
 			})
 		}
@@ -137,7 +164,8 @@ func main() {
 		}
 		if !*skipReal {
 			run("Figure 4 (measured on this host)", func() error {
-				_, err := bench.ThreadSweep(out, "ycsb-t", realTh, opts)
+				pts, err := bench.ThreadSweep(out, "ycsb-t", realTh, opts)
+				report.Add("fig4", pts)
 				return err
 			})
 		}
@@ -151,7 +179,8 @@ func main() {
 		}
 		if !*skipReal {
 			run("Figure 5 (measured on this host)", func() error {
-				_, err := bench.ThreadSweep(out, "retwis", realTh, opts)
+				pts, err := bench.ThreadSweep(out, "retwis", realTh, opts)
+				report.Add("fig5", pts)
 				return err
 			})
 		}
@@ -165,7 +194,8 @@ func main() {
 		}
 		if !*skipReal {
 			run("Figures 6a/7a (measured: YCSB-T vs zipf)", func() error {
-				_, err := bench.ZipfSweep(out, "ycsb-t", zipfs, boundedThreads(), opts)
+				pts, err := bench.ZipfSweep(out, "ycsb-t", zipfs, boundedThreads(), opts)
+				report.Add("fig6a_7a", pts)
 				return err
 			})
 		}
@@ -179,7 +209,8 @@ func main() {
 		}
 		if !*skipReal {
 			run("Figures 6b/7b (measured: Retwis vs zipf)", func() error {
-				_, err := bench.ZipfSweep(out, "retwis", zipfs, boundedThreads(), opts)
+				pts, err := bench.ZipfSweep(out, "retwis", zipfs, boundedThreads(), opts)
+				report.Add("fig6b_7b", pts)
 				return err
 			})
 		}
@@ -188,6 +219,16 @@ func main() {
 		run("Unloaded commit latency (measured, §6.2 latency note)", func() error {
 			return bench.LatencySweep(out, 2000, *keys)
 		})
+	}
+	if *jsonPath != "" {
+		if report.Empty() {
+			fmt.Fprintf(out, "note: -json given but no measured points were produced (all runs skipped?)\n")
+		}
+		if err := report.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "wrote %s\n", *jsonPath)
 	}
 	fmt.Fprintln(out)
 }

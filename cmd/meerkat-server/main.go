@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"meerkat/internal/obs"
 	"meerkat/internal/replica"
 	"meerkat/internal/timestamp"
 	"meerkat/internal/topo"
@@ -31,15 +32,16 @@ import (
 
 func main() {
 	var (
-		host       = flag.String("host", "127.0.0.1", "bind address")
-		port       = flag.Int("port", 29000, "base UDP port for the address map")
-		partition  = flag.Int("partition", 0, "partition this replica serves")
-		index      = flag.Int("index", 0, "replica index within the partition group")
-		replicas   = flag.Int("replicas", 3, "replicas per partition group")
-		partitions = flag.Int("partitions", 1, "number of partitions")
-		cores      = flag.Int("cores", 4, "server threads")
-		keys       = flag.Int("keys", 0, "pre-load this many benchmark keys")
-		shared     = flag.Bool("shared-record", false, "use the TAPIR-like shared transaction record")
+		host        = flag.String("host", "127.0.0.1", "bind address")
+		port        = flag.Int("port", 29000, "base UDP port for the address map")
+		partition   = flag.Int("partition", 0, "partition this replica serves")
+		index       = flag.Int("index", 0, "replica index within the partition group")
+		replicas    = flag.Int("replicas", 3, "replicas per partition group")
+		partitions  = flag.Int("partitions", 1, "number of partitions")
+		cores       = flag.Int("cores", 4, "server threads")
+		keys        = flag.Int("keys", 0, "pre-load this many benchmark keys")
+		shared      = flag.Bool("shared-record", false, "use the TAPIR-like shared transaction record")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar JSON), and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -55,7 +57,12 @@ func main() {
 	net := transport.NewUDP(*host, *port, coresPerNode)
 	defer net.Close()
 
+	reg := obs.NewRegistry()
+	net.RegisterObs(reg)
+
 	store := vstore.New(vstore.Config{})
+	reg.RegisterGauge("vstore_keys", func() uint64 { k, _ := store.Counts(); return k })
+	reg.RegisterGauge("vstore_versions", func() uint64 { _, v := store.Counts(); return v })
 	if *keys > 0 {
 		val := workload.Value(64)
 		ts := timestamp.Timestamp{Time: 1, ClientID: 0}
@@ -72,6 +79,7 @@ func main() {
 		Net:          net,
 		Store:        store,
 		SharedRecord: *shared,
+		Obs:          reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -82,6 +90,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer rep.Stop()
+
+	if *metricsAddr != "" {
+		srv, addr, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", addr)
+	}
 
 	fmt.Printf("meerkat replica %d/%d of partition %d serving on %s:%d+ (%d cores)\n",
 		*index, *replicas, *partition, *host, *port, *cores)

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"meerkat/internal/obs"
 	"meerkat/internal/workload"
 )
 
@@ -24,6 +25,9 @@ type Options struct {
 	Keys    int
 	Clients int // closed-loop clients per point (0 = 2x threads)
 	Seed    int64
+	// Obs, when non-nil, is wired through every system the sweep builds,
+	// so one live exporter observes the whole run.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -49,6 +53,8 @@ type Point struct {
 	AbortRate float64
 	P50       time.Duration
 	P99       time.Duration
+	P999      time.Duration
+	Path      PathStats // coordination-path breakdown of the window
 }
 
 // genFactory builds per-client generator factories for a workload/theta.
@@ -63,7 +69,7 @@ func genFactory(name string, keys int, theta float64) func() workload.Generator 
 // runPoint measures one (system, workload, theta, threads) cell.
 func runPoint(kind SystemKind, wl string, theta float64, threads int, opts Options) (Point, error) {
 	opts.fill()
-	sys, err := NewSystem(SystemConfig{Kind: kind, Cores: threads})
+	sys, err := NewSystem(SystemConfig{Kind: kind, Cores: threads, Obs: opts.Obs})
 	if err != nil {
 		return Point{}, err
 	}
@@ -90,6 +96,8 @@ func runPoint(kind SystemKind, wl string, theta float64, threads int, opts Optio
 		AbortRate: res.AbortRate(),
 		P50:       res.Latency.Percentile(0.50),
 		P99:       res.Latency.Percentile(0.99),
+		P999:      res.Latency.Percentile(0.999),
+		Path:      res.Path,
 	}, nil
 }
 
@@ -99,7 +107,7 @@ func runPoint(kind SystemKind, wl string, theta float64, threads int, opts Optio
 func ThreadSweep(w io.Writer, wl string, threads []int, opts Options) ([]Point, error) {
 	var out []Point
 	fmt.Fprintf(w, "# %s uniform: goodput (txns/sec) vs server threads\n", wl)
-	fmt.Fprintf(w, "%-12s %8s %12s %9s %10s %10s\n", "system", "threads", "goodput", "abort%", "p50", "p99")
+	fmt.Fprintf(w, "%-12s %8s %12s %9s %10s %10s %7s\n", "system", "threads", "goodput", "abort%", "p50", "p99", "fast%")
 	for _, kind := range AllSystems {
 		for _, th := range threads {
 			p, err := runPoint(kind, wl, 0, th, opts)
@@ -108,8 +116,8 @@ func ThreadSweep(w io.Writer, wl string, threads []int, opts Options) ([]Point, 
 			}
 			p.X = float64(th)
 			out = append(out, p)
-			fmt.Fprintf(w, "%-12s %8d %12.0f %8.1f%% %10v %10v\n",
-				p.System, th, p.Goodput, p.AbortRate*100, p.P50, p.P99)
+			fmt.Fprintf(w, "%-12s %8d %12.0f %8.1f%% %10v %10v %6.1f%%\n",
+				p.System, th, p.Goodput, p.AbortRate*100, p.P50, p.P99, p.Path.FastFraction()*100)
 		}
 	}
 	return out, nil
@@ -121,7 +129,7 @@ func ThreadSweep(w io.Writer, wl string, threads []int, opts Options) ([]Point, 
 func ZipfSweep(w io.Writer, wl string, thetas []float64, threads int, opts Options) ([]Point, error) {
 	var out []Point
 	fmt.Fprintf(w, "# %s, %d server threads: goodput and abort rate vs zipf coefficient\n", wl, threads)
-	fmt.Fprintf(w, "%-12s %8s %12s %9s %10s %10s\n", "system", "zipf", "goodput", "abort%", "p50", "p99")
+	fmt.Fprintf(w, "%-12s %8s %12s %9s %10s %10s %7s\n", "system", "zipf", "goodput", "abort%", "p50", "p99", "fast%")
 	for _, kind := range []SystemKind{SystemMeerkat, SystemMeerkatPB} {
 		for _, theta := range thetas {
 			p, err := runPoint(kind, wl, theta, threads, opts)
@@ -130,8 +138,8 @@ func ZipfSweep(w io.Writer, wl string, thetas []float64, threads int, opts Optio
 			}
 			p.X = theta
 			out = append(out, p)
-			fmt.Fprintf(w, "%-12s %8.2f %12.0f %8.1f%% %10v %10v\n",
-				p.System, theta, p.Goodput, p.AbortRate*100, p.P50, p.P99)
+			fmt.Fprintf(w, "%-12s %8.2f %12.0f %8.1f%% %10v %10v %6.1f%%\n",
+				p.System, theta, p.Goodput, p.AbortRate*100, p.P50, p.P99, p.Path.FastFraction()*100)
 		}
 	}
 	return out, nil

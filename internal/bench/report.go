@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+)
+
+// JSONPoint is the machine-readable form of one measured data point, written
+// by WriteJSON for downstream plotting and regression tracking.
+type JSONPoint struct {
+	System    string  `json:"system"`
+	X         float64 `json:"x"`
+	Goodput   float64 `json:"goodput_tps"`
+	AbortRate float64 `json:"abort_rate"`
+	P50NS     int64   `json:"p50_ns"`
+	P99NS     int64   `json:"p99_ns"`
+	P999NS    int64   `json:"p999_ns"`
+
+	FastCommits      uint64  `json:"fast_commits"`
+	SlowCommits      uint64  `json:"slow_commits"`
+	FastFraction     float64 `json:"fast_fraction"`
+	ValidationAborts uint64  `json:"validation_aborts"`
+	AcceptAborts     uint64  `json:"accept_aborts"`
+	TimeoutAborts    uint64  `json:"timeout_aborts"`
+	Retries          uint64  `json:"retries"`
+}
+
+// JSONReport is the top-level structure WriteJSON emits: every experiment's
+// points keyed by experiment name.
+type JSONReport struct {
+	GeneratedAt string                 `json:"generated_at"`
+	Experiments map[string][]JSONPoint `json:"experiments"`
+}
+
+// Report accumulates points across experiments for a final WriteJSON.
+type Report struct {
+	exps map[string][]Point
+}
+
+// Add records the points of one experiment under name. Appending to the same
+// name merges (e.g. fig6a and fig7a share a sweep).
+func (r *Report) Add(name string, pts []Point) {
+	if r.exps == nil {
+		r.exps = make(map[string][]Point)
+	}
+	r.exps[name] = append(r.exps[name], pts...)
+}
+
+// Empty reports whether nothing was recorded.
+func (r *Report) Empty() bool { return len(r.exps) == 0 }
+
+// WriteJSON writes the accumulated report to path, indented for diffing.
+func (r *Report) WriteJSON(path string) error {
+	out := JSONReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Experiments: make(map[string][]JSONPoint, len(r.exps)),
+	}
+	names := make([]string, 0, len(r.exps))
+	for name := range r.exps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pts := make([]JSONPoint, len(r.exps[name]))
+		for i, p := range r.exps[name] {
+			pts[i] = JSONPoint{
+				System:           p.System,
+				X:                p.X,
+				Goodput:          p.Goodput,
+				AbortRate:        p.AbortRate,
+				P50NS:            p.P50.Nanoseconds(),
+				P99NS:            p.P99.Nanoseconds(),
+				P999NS:           p.P999.Nanoseconds(),
+				FastCommits:      p.Path.FastCommits,
+				SlowCommits:      p.Path.SlowCommits,
+				FastFraction:     p.Path.FastFraction(),
+				ValidationAborts: p.Path.ValidationAborts,
+				AcceptAborts:     p.Path.AcceptAborts,
+				TimeoutAborts:    p.Path.TimeoutAborts,
+				Retries:          p.Path.Retries,
+			}
+		}
+		out.Experiments[name] = pts
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

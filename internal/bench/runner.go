@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"meerkat/internal/obs"
 	"meerkat/internal/stats"
 	"meerkat/internal/workload"
 )
@@ -38,6 +39,39 @@ type RunConfig struct {
 	SkipLoad bool
 }
 
+// PathStats is the coordination-path breakdown of the measured window,
+// derived from the system's observability counters (Meerkat/TAPIR systems;
+// zero for the PB baselines, which take neither path).
+type PathStats struct {
+	FastCommits      uint64 // fast path: supermajority agreement, 1 RTT
+	SlowCommits      uint64 // slow path: at least one accept round
+	ValidationAborts uint64 // fast-path validation conflicts
+	AcceptAborts     uint64 // slow-path ACCEPT-ABORT decisions
+	TimeoutAborts    uint64 // outcome unknown within the retry budget
+	Retries          uint64 // validate/accept round resends
+}
+
+// FastFraction is the share of commits that took the fast path.
+func (p PathStats) FastFraction() float64 {
+	total := p.FastCommits + p.SlowCommits
+	if total == 0 {
+		return 0
+	}
+	return float64(p.FastCommits) / float64(total)
+}
+
+// pathStats extracts the breakdown from an obs counter delta.
+func pathStats(d obs.Snapshot) PathStats {
+	return PathStats{
+		FastCommits:      d.Counter(obs.TxnCommitFast),
+		SlowCommits:      d.Counter(obs.TxnCommitSlow),
+		ValidationAborts: d.Counter(obs.TxnAbortValidation),
+		AcceptAborts:     d.Counter(obs.TxnAbortAcceptAbort),
+		TimeoutAborts:    d.Counter(obs.TxnAbortTimeout),
+		Retries:          d.Counter(obs.TxnRetry),
+	}
+}
+
 // Result is one benchmark measurement.
 type Result struct {
 	System   string
@@ -45,6 +79,9 @@ type Result struct {
 	Counters stats.Counters
 	Latency  stats.Histogram
 	Elapsed  time.Duration
+	// Path is the coordination-path breakdown over the measured window
+	// (snapshot delta of the system's obs registry).
+	Path PathStats
 }
 
 // Goodput returns committed transactions per second — the paper's
@@ -145,13 +182,18 @@ func Run(cfg RunConfig) (Result, error) {
 
 	time.Sleep(cfg.Warmup)
 	phase.Store(phaseMeasure)
+	before := cfg.System.Obs().Snapshot()
 	start := time.Now()
 	time.Sleep(cfg.Measure)
 	phase.Store(phaseDone)
 	elapsed := time.Since(start)
 	wg.Wait()
+	// Snapshot after the clients drain so transactions straddling the
+	// window's end are counted on exactly one side.
+	delta := cfg.System.Obs().Snapshot().Sub(before)
 
-	res := Result{System: cfg.System.Name(), Clients: cfg.Clients, Elapsed: elapsed}
+	res := Result{System: cfg.System.Name(), Clients: cfg.Clients, Elapsed: elapsed,
+		Path: pathStats(delta)}
 	for i := range perClient {
 		res.Counters.Merge(perClient[i].counters)
 		res.Latency.Merge(&perClient[i].hist)

@@ -18,6 +18,7 @@ import (
 	"meerkat/internal/clock"
 	"meerkat/internal/kuafu"
 	"meerkat/internal/meerkatpb"
+	"meerkat/internal/obs"
 	"meerkat/internal/pbclient"
 	"meerkat/internal/timestamp"
 	"meerkat/internal/topo"
@@ -44,6 +45,11 @@ type System interface {
 	NewClient() (Client, error)
 	Load(key string, value []byte)
 	Close()
+	// Obs returns the system's observability registry (never nil). The
+	// harness snapshots it around the measured window for path-ratio
+	// breakdowns; systems without lifecycle instrumentation (the PB
+	// baselines) expose transport gauges only.
+	Obs() *obs.Registry
 }
 
 // SystemKind names the four prototypes.
@@ -67,6 +73,10 @@ type SystemConfig struct {
 	Cores    int // server threads per replica
 	Timeout  time.Duration
 	Retries  int
+	// Obs, when non-nil, is wired through the system so one registry (and
+	// one HTTP exporter) can observe a whole sweep. Defaults to a fresh
+	// registry per system.
+	Obs *obs.Registry
 }
 
 // NewSystem builds and starts the requested system on an in-process
@@ -92,6 +102,7 @@ func NewSystem(cfg SystemConfig) (System, error) {
 			SharedTRecord: cfg.Kind == SystemTAPIR,
 			CommitTimeout: cfg.Timeout,
 			Retries:       cfg.Retries,
+			Obs:           cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -112,6 +123,8 @@ type meerkatSystem struct {
 }
 
 func (s *meerkatSystem) Name() string { return string(s.kind) }
+
+func (s *meerkatSystem) Obs() *obs.Registry { return s.cluster.Obs() }
 
 func (s *meerkatSystem) Load(key string, value []byte) { s.cluster.Load(key, value) }
 
@@ -135,6 +148,7 @@ type pbSystem struct {
 	cfg    SystemConfig
 	topo   topo.Topology
 	net    *transport.Inproc
+	obs    *obs.Registry
 	stores []*vstore.Store
 	stop   []func()
 	nextID uint64
@@ -143,6 +157,11 @@ type pbSystem struct {
 func newPBSystem(cfg SystemConfig) (System, error) {
 	tp := topo.Topology{Partitions: 1, Replicas: cfg.Replicas, Cores: cfg.Cores}
 	s := &pbSystem{cfg: cfg, topo: tp, net: transport.NewInproc(transport.InprocConfig{})}
+	s.obs = cfg.Obs
+	if s.obs == nil {
+		s.obs = obs.NewRegistry()
+	}
+	s.net.RegisterObs(s.obs)
 	for i := 0; i < cfg.Replicas; i++ {
 		switch cfg.Kind {
 		case SystemKuaFu:
@@ -171,6 +190,8 @@ func newPBSystem(cfg SystemConfig) (System, error) {
 }
 
 func (s *pbSystem) Name() string { return string(s.cfg.Kind) }
+
+func (s *pbSystem) Obs() *obs.Registry { return s.obs }
 
 func (s *pbSystem) Load(key string, value []byte) {
 	ts := timestamp.Timestamp{Time: 1, ClientID: 0}

@@ -16,6 +16,7 @@ import (
 
 	"meerkat/internal/clock"
 	"meerkat/internal/message"
+	"meerkat/internal/obs"
 	"meerkat/internal/timestamp"
 	"meerkat/internal/topo"
 	"meerkat/internal/transport"
@@ -48,6 +49,11 @@ type Config struct {
 	// Seed seeds core/replica load-balancing choices. Zero means seed
 	// from ClientID.
 	Seed int64
+	// Obs, when non-nil, receives the coordinator's transaction lifecycle
+	// events (fast/slow-path commits, aborts by reason, retries) and commit
+	// latency. The coordinator is single-goroutine, so one private shard
+	// per coordinator keeps recording coordination-free.
+	Obs *obs.Shard
 }
 
 func (c *Config) fill() {
@@ -79,6 +85,7 @@ type Coordinator struct {
 	commitIns []*transport.Inbox
 
 	readSeq uint64
+	obs     *obs.Shard // nil-safe lifecycle recorder (see Config.Obs)
 }
 
 // New binds a coordinator's endpoints on cfg.Net.
@@ -91,6 +98,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg: cfg,
 		gen: timestamp.NewGenerator(cfg.ClientID, cfg.Clock.Now),
 		rng: rand.New(rand.NewSource(cfg.Seed)),
+		obs: cfg.Obs,
 	}
 	base := cfg.Topo.ClientAddr(cfg.ClientID)
 	c.readInbox = transport.NewInbox(256)
@@ -145,6 +153,9 @@ func (c *Coordinator) Read(key string) (value []byte, version timestamp.Timestam
 	drain(c.readInbox)
 
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.obs.Inc(obs.ReadRetry)
+		}
 		// Load-balance GETs across replicas and cores, as in §6.2.
 		r := c.rng.Intn(c.cfg.Topo.Replicas)
 		core := uint32(c.rng.Intn(c.cfg.Topo.Cores))
@@ -294,6 +305,7 @@ func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
 // transaction touched, and the transaction commits only if every partition
 // validates it.
 func (c *Coordinator) commit(t *Txn) (bool, error) {
+	start := time.Now()
 	// Step 1: pick the processing core, the proposed timestamp, and the
 	// transaction id. The timestamp comes from the client's loosely
 	// synchronized clock — no coordination.
@@ -305,20 +317,21 @@ func (c *Coordinator) commit(t *Txn) (bool, error) {
 
 	parts := c.split(t, tid)
 	if len(parts) == 0 {
-		return true, nil // empty transaction commits trivially
+		return true, nil // empty transaction commits trivially; no lifecycle
 	}
 
 	// Steps 2–5 in each touched partition, in parallel.
 	type partResult struct {
 		commit bool
+		slow   bool
 		err    error
 	}
 	results := make([]partResult, len(parts))
 	done := make(chan int, len(parts))
 	for i := range parts {
 		go func(i int) {
-			ok, err := c.validatePhase(parts[i].p, &parts[i].txn, ts, coreID)
-			results[i] = partResult{commit: ok, err: err}
+			ok, slow, err := c.validatePhase(parts[i].p, &parts[i].txn, ts, coreID)
+			results[i] = partResult{commit: ok, slow: slow, err: err}
 			done <- i
 		}(i)
 	}
@@ -326,12 +339,24 @@ func (c *Coordinator) commit(t *Txn) (bool, error) {
 		<-done
 	}
 
-	committed := true
+	// The transaction commits fast only if every partition decided on the
+	// fast path; one slow partition makes it a slow-path commit. An abort's
+	// reason is taken from how the aborting partition decided: a fast-path
+	// supermajority of VALIDATED-ABORT is a validation conflict, a slow-path
+	// decision is an accept-abort.
+	committed, anySlow, abortSlow := true, false, false
 	for _, r := range results {
 		if r.err != nil {
+			if errors.Is(r.err, ErrTimeout) {
+				c.obs.Inc(obs.TxnAbortTimeout)
+			}
 			return false, r.err
 		}
-		committed = committed && r.commit
+		anySlow = anySlow || r.slow
+		if !r.commit {
+			committed = false
+			abortSlow = abortSlow || r.slow
+		}
 	}
 
 	// Step 3/6: asynchronously broadcast the final outcome. The paper
@@ -349,12 +374,29 @@ func (c *Coordinator) commit(t *Txn) (bool, error) {
 			ep.Send(dst, &message.Message{Type: message.TypeCommit, TID: tid, Status: st, CoreID: coreID})
 		}
 	}
+
+	switch {
+	case committed && !anySlow:
+		c.obs.Inc(obs.TxnCommitFast)
+		c.obs.Observe(obs.HistCommit, time.Since(start))
+	case committed:
+		c.obs.Inc(obs.TxnCommitSlow)
+		c.obs.Observe(obs.HistCommit, time.Since(start))
+	case abortSlow:
+		c.obs.Inc(obs.TxnAbortAcceptAbort)
+		c.obs.Observe(obs.HistAbort, time.Since(start))
+	default:
+		c.obs.Inc(obs.TxnAbortValidation)
+		c.obs.Observe(obs.HistAbort, time.Since(start))
+	}
 	return committed, nil
 }
 
 // validatePhase runs the commit protocol for one partition and returns the
-// partition's decision: true to commit, false to abort.
-func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32) (bool, error) {
+// partition's decision: true to commit, false to abort. slow reports whether
+// the decision went through the slow path (an accept round) rather than the
+// fast-path supermajority.
+func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32) (commit, slow bool, err error) {
 	ep, in := c.commitEps[p], c.commitIns[p]
 	drain(in)
 	group := c.cfg.Topo.GroupAddrs(p, coreID)
@@ -365,6 +407,9 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 	req := message.Message{Type: message.TypeValidate, Txn: *txn, TID: txn.ID, TS: ts, CoreID: coreID}
 
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.obs.Inc(obs.TxnRetry)
+		}
 		for _, dst := range group {
 			m := req // copy per destination: Send stamps Src
 			ep.Send(dst, &m)
@@ -404,19 +449,19 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 				case message.StatusCommitted:
 					// Another coordinator already finished it.
 					deadline.Stop()
-					return true, nil
+					return true, false, nil
 				case message.StatusAborted:
 					deadline.Stop()
-					return false, nil
+					return false, false, nil
 				}
 				if !c.cfg.DisableFastPath {
 					if countOK >= fast {
 						deadline.Stop()
-						return true, nil
+						return true, false, nil
 					}
 					if countAbort >= fast {
 						deadline.Stop()
-						return false, nil
+						return false, false, nil
 					}
 				}
 				if replied == n {
@@ -444,10 +489,11 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 			if countOK >= majority {
 				proposal = message.StatusAcceptCommit
 			}
-			return c.slowPath(p, txn, ts, coreID, proposal, 0)
+			commit, err = c.slowPath(p, txn, ts, coreID, proposal, 0)
+			return commit, true, err
 		}
 	}
-	return false, ErrTimeout
+	return false, false, ErrTimeout
 }
 
 // slowPath runs steps 4–6 of the commit protocol: an accept round that gets
@@ -466,6 +512,9 @@ func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, 
 	}
 
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.obs.Inc(obs.TxnRetry)
+		}
 		for _, dst := range group {
 			m := req // copy per destination: Send stamps Src
 			ep.Send(dst, &m)

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the registry's HTTP surface:
+//
+//	/metrics       Prometheus text exposition (counters, gauges, summaries)
+//	/debug/vars    expvar-style JSON (standard vars plus a "meerkat" object)
+//	/debug/pprof/  the net/http/pprof profile index
+//
+// Every endpoint aggregates at request time; serving metrics costs the
+// running system nothing between scrapes.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := r.Snapshot()
+		WritePrometheus(w, &snap)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeExpvars(w, r)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// WritePrometheus writes the snapshot in Prometheus text format. Counters
+// export as meerkat_<name>_total, gauges as meerkat_<name>, histograms as
+// summary metrics in seconds with quantile labels (quantiles are exact to
+// within the fixed log-bucket width, <9%).
+func WritePrometheus(w io.Writer, snap *Snapshot) {
+	for c := Counter(0); c < NumCounters; c++ {
+		name := "meerkat_" + c.Name() + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap.Counters[c])
+	}
+	for _, g := range snap.Gauges {
+		name := "meerkat_" + g.Name
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		name := "meerkat_" + h.Name() + "_seconds"
+		hg := snap.Hists[h].Histogram()
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", q),
+				hg.Percentile(q).Seconds())
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", name,
+			hg.Mean().Seconds()*float64(hg.Count()))
+		fmt.Fprintf(w, "%s_count %d\n", name, hg.Count())
+	}
+}
+
+// writeExpvars emulates the expvar handler's JSON document — all
+// process-wide published vars (cmdline, memstats, anything the host program
+// added) — and appends this registry's snapshot under the "meerkat" key.
+// Building the document here instead of expvar.Publish keeps registries
+// process-local: tests and benchmarks can create as many as they like
+// without fighting over expvar's global namespace.
+func writeExpvars(w io.Writer, r *Registry) {
+	fmt.Fprintf(w, "{\n")
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value.String())
+	})
+	snap := r.Snapshot()
+	b, err := json.Marshal(snap.JSONMap())
+	if err != nil {
+		b = []byte("{}")
+	}
+	fmt.Fprintf(w, "%q: %s\n}\n", "meerkat", b)
+}
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves the
+// registry's HTTP surface until the returned server is shut down. It
+// returns the bound address, so callers can print or scrape it.
+func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

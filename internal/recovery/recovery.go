@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"meerkat/internal/message"
+	"meerkat/internal/obs"
 	"meerkat/internal/occ"
 	"meerkat/internal/timestamp"
 	"meerkat/internal/topo"
@@ -36,6 +37,9 @@ type Options struct {
 	Timeout time.Duration
 	// Retries is how many times requests are resent. Defaults to 5.
 	Retries int
+	// Obs, when non-nil, records epoch-change lifecycle counters
+	// (runs completed, merged entries, rule-4 re-validations).
+	Obs *obs.Shard
 }
 
 func (o *Options) fill() {
@@ -148,7 +152,8 @@ func RunEpochChange(net transport.Network, t topo.Topology, p int, epoch uint64,
 			perReplica[k.replica] = append(perReplica[k.replica], recs...)
 		}
 	}
-	merged := MergeTrecords(perReplica, t.F())
+	merged := mergeTrecords(perReplica, t.F(), opts.Obs)
+	opts.Obs.Add(obs.EpochMergedTxn, uint64(len(merged)))
 
 	// Phase 2: install the merged trecord and resume.
 	done := make(map[coreKey]bool)
@@ -172,6 +177,7 @@ func RunEpochChange(net transport.Network, t topo.Topology, p int, epoch uint64,
 				done[coreKey{m.ReplicaID, m.CoreID}] = true
 				if len(done) == t.Replicas*t.Cores {
 					deadline.Stop()
+					opts.Obs.Inc(obs.EpochChangeRun)
 					return merged, nil
 				}
 			case <-deadline.C:
@@ -195,6 +201,7 @@ func RunEpochChange(net transport.Network, t topo.Topology, p int, epoch uint64,
 			}
 		}
 		if full >= t.Majority() {
+			opts.Obs.Inc(obs.EpochChangeRun)
 			return merged, nil
 		}
 	}
@@ -214,6 +221,12 @@ func RunEpochChange(net transport.Network, t topo.Topology, p int, epoch uint64,
 //     the transactions already committed in the merged trecord;
 //  5. everything else is ABORTED.
 func MergeTrecords(perReplica map[uint32][]message.TRecordEntry, f int) []message.TRecordEntry {
+	return mergeTrecords(perReplica, f, nil)
+}
+
+// mergeTrecords is MergeTrecords with an optional obs shard recording the
+// number of rule-4 re-validations.
+func mergeTrecords(perReplica map[uint32][]message.TRecordEntry, f int, o *obs.Shard) []message.TRecordEntry {
 	type txnState struct {
 		entry   message.TRecordEntry // representative (first seen with a body)
 		byRep   map[uint32]message.Status
@@ -317,6 +330,7 @@ func MergeTrecords(perReplica map[uint32][]message.TRecordEntry, f int) []messag
 	// that fast-committed (a conflicting committed transaction would make
 	// it fail, and per §5.4 both cannot have committed).
 	if len(candidates) > 0 {
+		o.Add(obs.EpochRevalidated, uint64(len(candidates)))
 		scratch := vstore.New(vstore.Config{Shards: 64})
 		for i := range merged {
 			if merged[i].Status == message.StatusCommitted {

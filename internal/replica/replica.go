@@ -24,6 +24,7 @@ import (
 
 	"meerkat/internal/coordinator"
 	"meerkat/internal/message"
+	"meerkat/internal/obs"
 	"meerkat/internal/occ"
 	"meerkat/internal/timestamp"
 	"meerkat/internal/topo"
@@ -71,6 +72,11 @@ type Config struct {
 	// no longer be answered from the record, so enable it only when
 	// clients give up well within an epoch.
 	CompactOnEpochChange bool
+
+	// Obs, when non-nil, receives replica-side lifecycle events. Each core
+	// draws its own shard from the registry, so recording follows the same
+	// per-core ownership discipline as the trecord itself.
+	Obs *obs.Registry
 }
 
 // Replica is one Meerkat database instance.
@@ -98,6 +104,7 @@ type core struct {
 	ep     atomic.Pointer[transport.Endpoint]
 	part   *trecord.Partition // used only when !SharedRecord
 	paused bool
+	obs    *obs.Shard // per-core lifecycle recorder (nil-safe)
 
 	sweepStop chan struct{}
 }
@@ -130,7 +137,7 @@ func New(cfg Config) (*Replica, error) {
 		r.shared = trecord.NewShared()
 	}
 	for c := 0; c < cfg.Topo.Cores; c++ {
-		cc := &core{r: r, id: uint32(c)}
+		cc := &core{r: r, id: uint32(c), obs: cfg.Obs.NewShard()}
 		if !cfg.SharedRecord {
 			cc.part = trecord.NewPartition()
 		}
@@ -328,6 +335,11 @@ func (c *core) handleValidate(m *message.Message) {
 		st := occ.Validate(c.r.store, &rec.Txn, m.TS)
 		rec.Status = st
 		rec.Registered = st == message.StatusValidatedOK
+		if st == message.StatusValidatedOK {
+			c.obs.Inc(obs.ValidateOK)
+		} else {
+			c.obs.Inc(obs.ValidateAbort)
+		}
 		reply = c.validateReply(m.Txn.ID, st, rec.View)
 	}
 	c.unlockRecords()
@@ -367,11 +379,13 @@ func (c *core) handleAccept(m *message.Message) {
 		// Already decided; ack so the (backup) coordinator finishes.
 		// Consistency is guaranteed: all coordinators reach the same
 		// decision (§5.3.2).
+		c.obs.Inc(obs.AcceptAcked)
 		reply = &message.Message{
 			Type: message.TypeAcceptReply, TID: m.TID, OK: true,
 			View: m.View, ReplicaID: uint32(c.r.cfg.Index),
 		}
 	case m.View < rec.View:
+		c.obs.Inc(obs.AcceptRejected)
 		reply = &message.Message{
 			Type: message.TypeAcceptReply, TID: m.TID, OK: false,
 			View: rec.View, ReplicaID: uint32(c.r.cfg.Index),
@@ -380,6 +394,7 @@ func (c *core) handleAccept(m *message.Message) {
 		rec.View = m.View
 		rec.AcceptView = m.View
 		rec.Status = m.Status // ACCEPT-COMMIT or ACCEPT-ABORT
+		c.obs.Inc(obs.AcceptAcked)
 		reply = &message.Message{
 			Type: message.TypeAcceptReply, TID: m.TID, OK: true,
 			View: m.View, ReplicaID: uint32(c.r.cfg.Index),
@@ -397,7 +412,13 @@ func (c *core) handleCommit(m *message.Message) {
 	}
 	p := c.lockRecords()
 	if rec := p.Get(m.TID); rec != nil {
-		finalizeRecord(c.r.store, rec, m.Status)
+		if finalizeRecord(c.r.store, rec, m.Status) {
+			if m.Status == message.StatusCommitted {
+				c.obs.Inc(obs.CommitApplied)
+			} else {
+				c.obs.Inc(obs.AbortApplied)
+			}
+		}
 	}
 	// A nil record means this replica never saw the transaction (dropped
 	// validate); it will learn the outcome during the next epoch change.
@@ -405,10 +426,11 @@ func (c *core) handleCommit(m *message.Message) {
 }
 
 // finalizeRecord moves rec to final status st and applies the write phase.
-// Idempotent: a record already final is left untouched.
-func finalizeRecord(store *vstore.Store, rec *trecord.Record, st message.Status) {
+// Idempotent: a record already final is left untouched. Reports whether it
+// transitioned the record (so callers can count applies exactly once).
+func finalizeRecord(store *vstore.Store, rec *trecord.Record, st message.Status) bool {
 	if rec.Status.Final() {
-		return
+		return false
 	}
 	wasRegistered := rec.Registered
 	rec.Registered = false
@@ -418,6 +440,7 @@ func finalizeRecord(store *vstore.Store, rec *trecord.Record, st message.Status)
 	} else if wasRegistered {
 		occ.ApplyAbort(store, &rec.Txn, rec.TS)
 	}
+	return true
 }
 
 // handleCoordChange is the prepare-like phase of coordinator recovery: if
@@ -443,6 +466,7 @@ func (c *core) handleCoordChange(m *message.Message) {
 			return
 		}
 		rec.View = m.View
+		c.obs.Inc(obs.CoordChange)
 		reply = &message.Message{
 			Type: message.TypeCoordChangeAck, TID: m.TID, OK: true,
 			View: m.View, ReplicaID: uint32(c.r.cfg.Index),
@@ -464,6 +488,7 @@ func (c *core) handleEpochChange(m *message.Message) {
 	}
 	c.r.epoch.Store(m.Epoch)
 	c.paused = true
+	c.obs.Inc(obs.EpochChangePause)
 	var snap []message.TRecordEntry
 	c.withRecords(func(p *trecord.Partition) {
 		snap = p.Snapshot(c.id)
@@ -587,6 +612,7 @@ func (c *core) handleSweep() {
 			return true
 		})
 	})
+	c.obs.Add(obs.SweepRecovery, uint64(len(jobs)))
 	for _, j := range jobs {
 		go func(j job) {
 			c.r.recMu.Lock()

@@ -49,6 +49,33 @@ func bucketLow(b int) uint64 {
 	return 1<<oct + sub<<(oct-3)
 }
 
+// bucketMid returns the midpoint (ns) of bucket b. Percentiles report the
+// midpoint rather than the lower bound: the lower bound systematically
+// understates tail latency by up to a full bucket width (~12.5%), while the
+// midpoint is off by at most half a width (within the documented <9% bound).
+func bucketMid(b int) uint64 {
+	low := bucketLow(b)
+	var width uint64
+	if b+1 < histBuckets {
+		width = bucketLow(b+1) - low
+	} else {
+		width = low >> 3 // overflow bucket: one sub-bucket step
+	}
+	return low + width/2
+}
+
+// NumBuckets is the histogram's fixed bucket count, exported so other
+// packages (internal/obs) can shard raw bucket counters with identical
+// bucketing and merge them back into a Histogram at scrape time.
+const NumBuckets = histBuckets
+
+// BucketIndex returns the bucket a latency of ns nanoseconds lands in.
+func BucketIndex(ns uint64) int { return bucketOf(ns) }
+
+// BucketMidNS returns the representative (midpoint) latency of bucket b in
+// nanoseconds.
+func BucketMidNS(b int) uint64 { return bucketMid(b) }
+
 // Record adds one latency observation.
 func (h *Histogram) Record(d time.Duration) {
 	ns := uint64(d.Nanoseconds())
@@ -57,6 +84,22 @@ func (h *Histogram) Record(d time.Duration) {
 	h.sum += ns
 	if ns > h.max {
 		h.max = ns
+	}
+}
+
+// AddBucket adds n observations at bucket b, attributing each the bucket's
+// midpoint latency. It reconstructs a Histogram from externally sharded raw
+// bucket counts (internal/obs); mean and max become bucket-approximate.
+func (h *Histogram) AddBucket(b int, n uint64) {
+	if n == 0 || b < 0 || b >= histBuckets {
+		return
+	}
+	mid := bucketMid(b)
+	h.counts[b] += n
+	h.total += n
+	h.sum += mid * n
+	if mid > h.max {
+		h.max = mid
 	}
 }
 
@@ -99,7 +142,7 @@ func (h *Histogram) Percentile(q float64) time.Duration {
 	for b, c := range h.counts {
 		seen += c
 		if seen > want {
-			return time.Duration(bucketLow(b))
+			return time.Duration(bucketMid(b))
 		}
 	}
 	return time.Duration(h.max)

@@ -50,6 +50,54 @@ func TestPercentileAccuracy(t *testing.T) {
 	}
 }
 
+func TestPercentileRoundTrip(t *testing.T) {
+	// A histogram holding a single repeated value must report that value at
+	// every quantile within the documented <9% relative error. The old
+	// lower-bound percentile systematically understated (up to -12.5%); the
+	// midpoint stays inside the bound on both sides.
+	for _, ns := range []uint64{256, 300, 1000, 4096, 12345, 1e6, 7777777, 5e8} {
+		var h Histogram
+		d := time.Duration(ns)
+		for i := 0; i < 1000; i++ {
+			h.Record(d)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 0.999} {
+			got := float64(h.Percentile(q))
+			if rel := (got - float64(ns)) / float64(ns); rel < -0.09 || rel > 0.09 {
+				t.Errorf("value %dns: P%g = %v (rel err %+.3f), want within 9%%",
+					ns, q*100, time.Duration(got), rel)
+			}
+		}
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	// Exported bucket helpers must agree with Record/Percentile bucketing.
+	for _, ns := range []uint64{1, 256, 1000, 65536, 1e9} {
+		b := BucketIndex(ns)
+		if b < 0 || b >= NumBuckets {
+			t.Fatalf("BucketIndex(%d) = %d out of range", ns, b)
+		}
+		var h, h2 Histogram
+		h.Record(time.Duration(ns))
+		h2.AddBucket(b, 1)
+		if h.Percentile(0.5) != h2.Percentile(0.5) {
+			t.Fatalf("ns=%d: Record p50 %v != AddBucket p50 %v",
+				ns, h.Percentile(0.5), h2.Percentile(0.5))
+		}
+		if h2.Max() != time.Duration(BucketMidNS(b)) {
+			t.Fatalf("ns=%d: AddBucket max %v != mid %d", ns, h2.Max(), BucketMidNS(b))
+		}
+	}
+	var h Histogram
+	h.AddBucket(-1, 5)
+	h.AddBucket(NumBuckets, 5)
+	h.AddBucket(3, 0)
+	if h.Count() != 0 {
+		t.Fatal("out-of-range AddBucket must be ignored")
+	}
+}
+
 func TestPercentileMonotone(t *testing.T) {
 	f := func(seed int64) bool {
 		var h Histogram

@@ -104,12 +104,40 @@ func (n *UDP) Close() error {
 	return nil
 }
 
+// UDPStats is a point-in-time aggregate of socket-level counters across all
+// endpoints of a UDP network.
+type UDPStats struct {
+	Sent      uint64 // datagrams handed to the kernel
+	Delivered uint64 // datagrams decoded and handed to handlers
+	Dropped   uint64 // local send errors + corrupt inbound datagrams
+}
+
+// Stats sums the per-endpoint counters. Endpoints count into their own
+// cache lines (each endpoint is its own heap object owned by one sender and
+// one read loop), so the aggregation cost lands here, on the scrape path.
+func (n *UDP) Stats() UDPStats {
+	var s UDPStats
+	n.mu.Lock()
+	eps := n.eps
+	n.mu.Unlock()
+	for _, ep := range eps {
+		s.Sent += ep.sent.Load()
+		s.Delivered += ep.delivered.Load()
+		s.Dropped += ep.dropped.Load()
+	}
+	return s
+}
+
 type udpEndpoint struct {
 	net    *UDP
 	addr   message.Addr
 	conn   *net.UDPConn
 	h      Handler
 	closed atomic.Bool
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
 }
 
 func (ep *udpEndpoint) readLoop() {
@@ -121,8 +149,10 @@ func (ep *udpEndpoint) readLoop() {
 		}
 		m, err := message.Decode(buf[:nr])
 		if err != nil {
+			ep.dropped.Add(1)
 			continue // corrupt datagram: drop, like any UDP consumer
 		}
+		ep.delivered.Add(1)
 		ep.h(m)
 	}
 }
@@ -144,8 +174,10 @@ func (ep *udpEndpoint) Send(dst message.Addr, m *message.Message) error {
 	enc.Release()
 	if err != nil {
 		// UDP is best-effort end to end; surface only local socket faults.
+		ep.dropped.Add(1)
 		return err
 	}
+	ep.sent.Add(1)
 	return nil
 }
 

@@ -391,6 +391,24 @@ func (s *Store) Len() int {
 	return n
 }
 
+// Counts reports the number of keys present and the total committed versions
+// retained across all of them. It is a scrape-path helper (observability
+// gauges): it walks every shard and briefly takes each per-key lock, so it
+// must not be called from transaction processing.
+func (s *Store) Counts() (keys, versions uint64) {
+	for i := range s.shards {
+		s.shards[i].m.Range(func(_, v any) bool {
+			e := v.(*entry)
+			keys++
+			e.mu.Lock()
+			versions += uint64(len(e.versions))
+			e.mu.Unlock()
+			return true
+		})
+	}
+	return
+}
+
 // KeyState is one key's transferable committed state: the latest version
 // and the read timestamp. It is the unit of replica state transfer.
 type KeyState struct {

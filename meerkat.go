@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"meerkat/internal/clock"
+	"meerkat/internal/obs"
 	"meerkat/internal/recovery"
 	"meerkat/internal/replica"
 	"meerkat/internal/timestamp"
@@ -110,6 +111,12 @@ type Config struct {
 
 	// Seed makes load-balancing decisions reproducible.
 	Seed int64
+
+	// Obs, when non-nil, is the observability registry the cluster wires
+	// through every component (replica cores, client coordinators, epoch
+	// changes, transport and storage gauges). When nil, NewCluster creates
+	// one; retrieve it with Cluster.Obs.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() error {
@@ -148,6 +155,9 @@ type Cluster struct {
 	net  transport.Network
 	inet *transport.Inproc // non-nil iff inproc transport
 
+	obs    *obs.Registry // never nil after NewCluster
+	recObs *obs.Shard    // epoch-change recorder
+
 	mu       sync.Mutex
 	replicas [][]*replica.Replica // [partition][index]
 	epochs   []uint64             // per-partition epoch counters
@@ -166,6 +176,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{cfg: cfg, topo: t, epochs: make([]uint64, cfg.Partitions)}
+	c.obs = cfg.Obs
+	if c.obs == nil {
+		c.obs = obs.NewRegistry()
+	}
+	c.recObs = c.obs.NewShard()
 	switch cfg.Transport {
 	case TransportInproc:
 		var delay func() time.Duration
@@ -186,6 +201,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("meerkat: unknown transport %d", cfg.Transport)
 	}
+
+	switch n := c.net.(type) {
+	case *transport.Inproc:
+		n.RegisterObs(c.obs)
+	case *transport.UDP:
+		n.RegisterObs(c.obs)
+	}
+	// Storage gauges sum over all live replica stores (each replica holds a
+	// full copy, so totals scale with the replication factor by design).
+	c.obs.RegisterGauge("vstore_keys", func() uint64 { k, _ := c.storeCounts(); return k })
+	c.obs.RegisterGauge("vstore_versions", func() uint64 { _, v := c.storeCounts(); return v })
 
 	for p := 0; p < cfg.Partitions; p++ {
 		group := make([]*replica.Replica, cfg.Replicas)
@@ -220,6 +246,7 @@ func (c *Cluster) newReplica(p, r int, store *vstore.Store) (*replica.Replica, e
 		SweepInterval:        c.cfg.SweepInterval,
 		StaleAfter:           c.cfg.StaleAfter,
 		CompactOnEpochChange: c.cfg.CompactOnEpochChange,
+		Obs:                  c.obs,
 	})
 	if err != nil {
 		return nil, err
@@ -330,8 +357,31 @@ func (c *Cluster) EpochChange(p int) error {
 	c.mu.Unlock()
 	_, err := recovery.RunEpochChange(c.net, c.topo, p, epoch, recovery.Options{
 		Timeout: c.cfg.CommitTimeout * 5,
+		Obs:     c.recObs,
 	})
 	return err
+}
+
+// Obs returns the cluster's observability registry. Snapshot it for
+// programmatic metrics, or serve it over HTTP with obs.Handler / obs.Serve.
+func (c *Cluster) Obs() *obs.Registry { return c.obs }
+
+// storeCounts sums keys and committed versions across all live replica
+// stores. Scrape path only.
+func (c *Cluster) storeCounts() (keys, versions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, group := range c.replicas {
+		for _, rep := range group {
+			if rep == nil {
+				continue
+			}
+			k, v := rep.Store().Counts()
+			keys += k
+			versions += v
+		}
+	}
+	return
 }
 
 // replicaAt returns the live replica instance (tests, stats); nil if
