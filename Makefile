@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,11 @@ check: build vet test race
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEncodeDecode|BenchmarkInprocRoundTrip|BenchmarkVstoreRead' -benchmem \
 		./internal/message ./internal/transport ./internal/vstore
+
+# Machine-readable snapshot of the end-to-end hot-path benchmarks (commit and
+# batched-read latency plus allocation counts), archived per PR for
+# before/after comparison in EXPERIMENTS.md.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkCommitSinglePartition|BenchmarkTxnTimeline10|BenchmarkEncodeDecode' -benchmem . ./internal/message \
+		| $(GO) run ./cmd/bench2json > BENCH_pr3.json
+	@cat BENCH_pr3.json

@@ -82,6 +82,15 @@ func (t *Txn) Read(key string) ([]byte, error) {
 	return t.inner.Read(key)
 }
 
+// ReadMany reads a batch of keys in one execution-phase round trip per
+// touched partition (values index-aligned with keys), with the same snapshot
+// semantics as per-key Read. Use it when a transaction's read set is known
+// up front — a timeline fetch, a multi-get — to avoid paying one network
+// round trip per key.
+func (t *Txn) ReadMany(keys []string) ([][]byte, error) {
+	return t.inner.ReadMany(keys)
+}
+
 // Write buffers a write of key=value.
 func (t *Txn) Write(key string, value []byte) {
 	t.inner.Write(key, value)

@@ -34,7 +34,7 @@ import (
 )
 
 var (
-	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|calibrate|all")
+	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|calibrate|all")
 	measure     = flag.Duration("measure", 500*time.Millisecond, "measured window per real data point")
 	keys        = flag.Int("keys", 65536, "pre-loaded keys for real runs")
 	threadsCSV  = flag.String("threads", "2,4,8,16,32,48,64,80", "simulated thread counts")
@@ -218,6 +218,11 @@ func main() {
 	if want("latency") {
 		run("Unloaded commit latency (measured, §6.2 latency note)", func() error {
 			return bench.LatencySweep(out, 2000, *keys)
+		})
+	}
+	if want("retwis-latency") {
+		run("Retwis per-kind latency (measured, batched execution phase)", func() error {
+			return bench.RetwisLatency(out, 8000, *keys)
 		})
 	}
 	if *jsonPath != "" {

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"meerkat/internal/clock"
@@ -31,8 +32,8 @@ func main() {
 		partitions = flag.Int("partitions", 1, "number of partitions")
 		cores      = flag.Int("cores", 4, "server threads per replica")
 		clientID   = flag.Uint64("id", uint64(os.Getpid()), "unique client id")
-		op         = flag.String("op", "get", "operation: get|put|incr|bench")
-		key        = flag.String("key", "", "key")
+		op         = flag.String("op", "get", "operation: get|mget|put|incr|bench")
+		key        = flag.String("key", "", "key (for mget: comma-separated keys)")
 		value      = flag.String("value", "", "value (put)")
 		duration   = flag.Duration("duration", 3*time.Second, "bench duration")
 		benchKeys  = flag.Int("bench-keys", 1024, "bench keyspace (pre-load with meerkat-server -keys)")
@@ -76,6 +77,20 @@ func main() {
 			return
 		}
 		fmt.Printf("%s = %q (version %v)\n", *key, val, ver)
+
+	case "mget":
+		keys := strings.Split(*key, ",")
+		res, err := coord.ReadMany(keys)
+		if err != nil {
+			fail(err)
+		}
+		for i, k := range keys {
+			if !res[i].OK {
+				fmt.Printf("%s: (not found)\n", k)
+				continue
+			}
+			fmt.Printf("%s = %q (version %v)\n", k, res[i].Value, res[i].WTS)
+		}
 
 	case "put":
 		txn := coord.Begin()

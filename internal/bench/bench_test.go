@@ -220,8 +220,13 @@ func TestRunSpecShapes(t *testing.T) {
 		RMWs:   []string{workload.KeyName(1)},
 		Writes: []string{workload.KeyName(2)},
 	}
-	ok, err := runSpec(cl, &spec, []byte("x"))
+	var gets []string
+	ok, err := runSpec(cl, &spec, []byte("x"), &gets)
 	if err != nil || !ok {
 		t.Fatalf("runSpec: %v %v", ok, err)
+	}
+	// The scratch holds the assembled read set (reads then RMW reads).
+	if len(gets) != 2 || gets[0] != workload.KeyName(0) || gets[1] != workload.KeyName(1) {
+		t.Fatalf("gets scratch = %v", gets)
 	}
 }

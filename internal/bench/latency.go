@@ -47,11 +47,12 @@ func LatencySweep(w io.Writer, txns int, keys int) error {
 		gen := workload.NewYCSBT(workload.NewUniform(keys))
 		rng := newRand(7)
 		var hist stats.Histogram
+		var gets []string
 		committed := 0
 		for i := 0; i < txns; i++ {
 			spec := gen.Next(rng)
 			start := time.Now()
-			ok, err := runSpec(cl, &spec, val)
+			ok, err := runSpec(cl, &spec, val, &gets)
 			if err != nil {
 				continue
 			}
@@ -65,6 +66,61 @@ func LatencySweep(w io.Writer, txns int, keys int) error {
 		fmt.Fprintf(w, "%-12s %10v %10v %10v %9.1f%%\n",
 			kind, hist.Mean(), hist.Percentile(0.5), hist.Percentile(0.99),
 			100*float64(committed)/float64(txns))
+	}
+	return nil
+}
+
+// RetwisLatency measures unloaded latency per Retwis transaction kind on
+// Meerkat. Retwis is the workload the batched execution phase targets:
+// load-timeline reads up to ten keys and pays one coordinator round trip per
+// touched partition instead of one per key, so its p50 is the experiment's
+// headline number. One synchronous client, Table 2's mix.
+func RetwisLatency(w io.Writer, txns int, keys int) error {
+	if txns <= 0 {
+		txns = 8000
+	}
+	if keys <= 0 {
+		keys = 4096
+	}
+	sys, err := NewSystem(SystemConfig{Kind: SystemMeerkat, Cores: 2})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	val := workload.Value(64)
+	for i := 0; i < keys; i++ {
+		sys.Load(workload.KeyName(i), val)
+	}
+	cl, err := sys.NewClient()
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	gen := workload.NewRetwis(workload.NewUniform(keys))
+	rng := newRand(7)
+	hists := make(map[string]*stats.Histogram)
+	order := []string{} // first-seen order keeps the output stable
+	var gets []string
+	for i := 0; i < txns; i++ {
+		spec := gen.Next(rng)
+		start := time.Now()
+		if _, err := runSpec(cl, &spec, val, &gets); err != nil {
+			continue
+		}
+		h := hists[spec.Kind]
+		if h == nil {
+			h = &stats.Histogram{}
+			hists[spec.Kind] = h
+			order = append(order, spec.Kind)
+		}
+		h.Record(time.Since(start))
+	}
+	fmt.Fprintln(w, "# unloaded latency by Retwis txn kind, meerkat, 3 replicas")
+	fmt.Fprintf(w, "%-16s %8s %10s %10s %10s\n", "kind", "count", "mean", "p50", "p99")
+	for _, kind := range order {
+		h := hists[kind]
+		fmt.Fprintf(w, "%-16s %8d %10v %10v %10v\n",
+			kind, h.Count(), h.Mean(), h.Percentile(0.5), h.Percentile(0.99))
 	}
 	return nil
 }

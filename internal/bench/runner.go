@@ -154,6 +154,7 @@ func Run(cfg RunConfig) (Result, error) {
 			gen := cfg.NewGenerator()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 			cs := &perClient[i]
+			var gets []string
 			for {
 				ph := phase.Load()
 				if ph == phaseDone {
@@ -161,7 +162,7 @@ func Run(cfg RunConfig) (Result, error) {
 				}
 				spec := gen.Next(rng)
 				start := time.Now()
-				committed, err := runSpec(cl, &spec, value)
+				committed, err := runSpec(cl, &spec, value, &gets)
 				if ph != phaseMeasure {
 					continue
 				}
@@ -201,19 +202,25 @@ func Run(cfg RunConfig) (Result, error) {
 	return res, nil
 }
 
-// runSpec executes one generated transaction: reads, read-modify-writes,
-// then blind writes, and commits.
-func runSpec(cl Client, spec *workload.TxnSpec, value []byte) (bool, error) {
+// runSpec executes one generated transaction: the whole read set (plain
+// reads plus the read halves of the read-modify-writes) goes out as one
+// batched ReadMany, then the writes are buffered, and the transaction
+// commits. gets is a per-caller scratch reused across transactions for
+// assembling the read set; it never reaches the transport (ReadMany copies
+// what it sends).
+func runSpec(cl Client, spec *workload.TxnSpec, value []byte, gets *[]string) (bool, error) {
 	txn := cl.Begin()
-	for _, k := range spec.Reads {
-		if _, err := txn.Read(k); err != nil {
+	if len(spec.Reads)+len(spec.RMWs) > 0 {
+		g := spec.Reads
+		if len(spec.RMWs) > 0 {
+			g = spec.AppendGets((*gets)[:0])
+			*gets = g
+		}
+		if _, err := txn.ReadMany(g); err != nil {
 			return false, err
 		}
 	}
 	for _, k := range spec.RMWs {
-		if _, err := txn.Read(k); err != nil {
-			return false, err
-		}
 		txn.Write(k, value)
 	}
 	for _, k := range spec.Writes {

@@ -26,9 +26,12 @@ import (
 	"meerkat/internal/vstore"
 )
 
-// Txn is the common transaction surface the harness drives.
+// Txn is the common transaction surface the harness drives. ReadMany is the
+// batched execution phase: Meerkat serves it in one round trip per touched
+// partition, while the PB baselines fall back to a per-key loop.
 type Txn interface {
 	Read(key string) ([]byte, error)
+	ReadMany(keys []string) ([][]byte, error)
 	Write(key string, value []byte)
 	Commit() (bool, error)
 }

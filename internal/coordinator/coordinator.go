@@ -11,7 +11,6 @@ package coordinator
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"meerkat/internal/clock"
@@ -68,17 +67,49 @@ func (c *Config) fill() {
 	}
 }
 
+// rtimer is a reusable retry timer: one time.Timer per wait site for the
+// coordinator's lifetime instead of one per attempt. arm stops and drains any
+// leftover state from the previous wait, so callers simply arm before each
+// wait; a fired-but-unread expiry from an earlier wait is swallowed here
+// rather than misread as a fresh timeout.
+type rtimer struct{ t *time.Timer }
+
+func (rt *rtimer) arm(d time.Duration) <-chan time.Time {
+	if rt.t == nil {
+		rt.t = time.NewTimer(d)
+		return rt.t.C
+	}
+	if !rt.t.Stop() {
+		select {
+		case <-rt.t.C:
+		default:
+		}
+	}
+	rt.t.Reset(d)
+	return rt.t.C
+}
+
+// phaseTimers bundles the two waits of one partition's validate phase (the
+// full-quorum deadline and the straggler grace window). The zero value is
+// ready: each concurrent per-partition goroutine owns its own, while
+// single-partition commits reuse the coordinator's across transactions.
+type phaseTimers struct {
+	deadline rtimer
+	grace    rtimer
+}
+
 // Coordinator drives transactions for one client. It is not safe for
 // concurrent use: each closed-loop client owns one.
 type Coordinator struct {
 	cfg Config
 	gen *timestamp.Generator
-	rng *rand.Rand
+	rng transport.SplitMix64 // replica/core load balancing; no lock, no heap
 
 	// readEp serves the execution phase; commitEps[p] serves the commit
 	// protocol for partition p. Separate endpoints give each concurrent
 	// per-partition phase its own reply queue, so no demultiplexer is
-	// needed.
+	// needed. Multi-reads ride the commit endpoints: their replies land on
+	// the requesting partition's private queue.
 	readEp    transport.Endpoint
 	readInbox *transport.Inbox
 	commitEps []transport.Endpoint
@@ -86,6 +117,32 @@ type Coordinator struct {
 
 	readSeq uint64
 	obs     *obs.Shard // nil-safe lifecycle recorder (see Config.Obs)
+
+	// Per-coordinator scratch, reused across operations (the coordinator is
+	// single-goroutine by contract). None of it is ever placed into a sent
+	// message: the transport may deliver a message after the send times out
+	// here, so anything a message carries must be freshly allocated.
+	rt         rtimer      // Read/ReadMany retry deadline
+	pt         phaseTimers // validate-phase timers for inline (single-partition) commits
+	done       chan int    // multi-partition commit fan-in, reused across commits
+	partsBuf   []partTxn   // split output headers (per-partition sets stay fresh)
+	resultsBuf []partResult
+	keyParts   []int // partition of each key/entry during split and ReadMany
+	partIdx    []int // per-partition scratch indexed by partition id
+	partOff    []int // ReadMany group offsets, len Partitions+1
+	origIdx    []int // ReadMany: original index of each grouped key
+	readRes    []message.ReadResult // ReadMany result scratch, returned to the caller
+
+	// groups[p*Cores+core] is the broadcast destination set for (p, core),
+	// precomputed once so the per-commit phases never allocate it. Immutable
+	// after New, hence safe to read from concurrent per-partition goroutines.
+	groups [][]message.Addr
+}
+
+// group returns the precomputed broadcast addresses of core `core` on every
+// replica of partition p.
+func (c *Coordinator) group(p int, core uint32) []message.Addr {
+	return c.groups[p*c.cfg.Topo.Cores+int(core)]
 }
 
 // New binds a coordinator's endpoints on cfg.Net.
@@ -95,20 +152,34 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("coordinator: invalid topology %+v", cfg.Topo)
 	}
 	c := &Coordinator{
-		cfg: cfg,
-		gen: timestamp.NewGenerator(cfg.ClientID, cfg.Clock.Now),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		obs: cfg.Obs,
+		cfg:  cfg,
+		gen:  timestamp.NewGenerator(cfg.ClientID, cfg.Clock.Now),
+		rng:  transport.SeedSplitMix64(uint64(cfg.Seed)),
+		obs:  cfg.Obs,
+		done: make(chan int, cfg.Topo.Partitions),
+	}
+	c.groups = make([][]message.Addr, cfg.Topo.Partitions*cfg.Topo.Cores)
+	for p := 0; p < cfg.Topo.Partitions; p++ {
+		for core := 0; core < cfg.Topo.Cores; core++ {
+			c.groups[p*cfg.Topo.Cores+core] = cfg.Topo.GroupAddrs(p, uint32(core))
+		}
+	}
+	// Inboxes hold one operation's replies plus stragglers from retried
+	// earlier attempts, so size them to the replica group with generous
+	// headroom rather than a flat constant.
+	depth := 8 * cfg.Topo.Replicas
+	if depth < 256 {
+		depth = 256
 	}
 	base := cfg.Topo.ClientAddr(cfg.ClientID)
-	c.readInbox = transport.NewInbox(256)
+	c.readInbox = transport.NewInbox(depth)
 	ep, err := cfg.Net.Listen(base, c.readInbox.Handle)
 	if err != nil {
 		return nil, err
 	}
 	c.readEp = ep
 	for p := 0; p < cfg.Topo.Partitions; p++ {
-		in := transport.NewInbox(256)
+		in := transport.NewInbox(depth)
 		ep, err := cfg.Net.Listen(message.Addr{Node: base.Node, Core: uint32(1 + p)}, in.Handle)
 		if err != nil {
 			c.Close()
@@ -130,18 +201,6 @@ func (c *Coordinator) Close() {
 	}
 }
 
-// drain discards any stale buffered replies (from retries of prior
-// operations) so they cannot be mistaken for replies to the next one.
-func drain(in *transport.Inbox) {
-	for {
-		select {
-		case <-in.C:
-		default:
-			return
-		}
-	}
-}
-
 // Read performs one execution-phase read: it asks a uniformly chosen replica
 // core of the key's partition for the latest committed version. A missing
 // key returns ok=false with version Zero — still a meaningful read that the
@@ -150,7 +209,7 @@ func (c *Coordinator) Read(key string) (value []byte, version timestamp.Timestam
 	p := c.cfg.Topo.PartitionForKey(key)
 	c.readSeq++
 	seq := c.readSeq
-	drain(c.readInbox)
+	c.readInbox.Drain()
 
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -164,16 +223,15 @@ func (c *Coordinator) Read(key string) (value []byte, version timestamp.Timestam
 		if err != nil {
 			return nil, timestamp.Timestamp{}, false, err
 		}
-		deadline := time.NewTimer(c.cfg.Timeout)
+		deadline := c.rt.arm(c.cfg.Timeout)
 		for {
 			select {
 			case m := <-c.readInbox.C:
 				if m.Type != message.TypeReadReply || m.Seq != seq {
 					continue // stale reply
 				}
-				deadline.Stop()
 				return m.Value, m.TS, m.OK, nil
-			case <-deadline.C:
+			case <-deadline:
 			}
 			break
 		}
@@ -181,61 +239,268 @@ func (c *Coordinator) Read(key string) (value []byte, version timestamp.Timestam
 	return nil, timestamp.Timestamp{}, false, ErrTimeout
 }
 
+// sendMultiRead fires one batched read at a uniformly chosen replica core of
+// partition p, through the partition's commit endpoint so the reply lands on
+// a queue no other partition shares. The message — and the keys slice inside
+// it — belongs to the transport once sent and is freshly allocated by the
+// caller per ReadMany, never a reused scratch.
+func (c *Coordinator) sendMultiRead(p int, keys []string, seq uint64) error {
+	r := c.rng.Intn(c.cfg.Topo.Replicas)
+	core := uint32(c.rng.Intn(c.cfg.Topo.Cores))
+	dst := c.cfg.Topo.ReplicaAddr(p, r, core)
+	return c.commitEps[p].Send(dst, &message.Message{Type: message.TypeMultiRead, Keys: keys, Seq: seq})
+}
+
+// ReadMany performs one batched execution phase over keys: the keys are
+// grouped by partition and one multi-read is sent to a uniformly chosen
+// replica core of each touched partition, with every request in flight
+// before any reply is awaited — a transaction's whole read set costs one
+// round trip instead of one per key. Results are index-aligned with keys;
+// missing keys come back OK=false with version Zero, exactly as in Read.
+//
+// Like single reads, batched reads are served from the lock-free versioned
+// store by any replica core, so batching preserves the zero-coordination
+// execution phase (§5.2.1) while amortizing its per-message cost.
+//
+// The returned slice is a scratch reused by the next ReadMany call on this
+// coordinator; callers that need the results past that must copy them out.
+func (c *Coordinator) ReadMany(keys []string) ([]message.ReadResult, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	nparts := c.cfg.Topo.Partitions
+
+	// Group keys by partition: count, then carve one fresh backing array
+	// into contiguous ascending-partition spans. partOff[p] is the start of
+	// partition p's span (len nparts+1, so span p is off[p]..off[p+1]);
+	// origIdx maps each grouped slot back to its position in keys.
+	if c.partIdx == nil || len(c.partIdx) < nparts {
+		c.partIdx = make([]int, nparts)
+		c.partOff = make([]int, nparts+1)
+	}
+	cursor, off := c.partIdx, c.partOff
+	for p := 0; p < nparts; p++ {
+		cursor[p] = 0
+	}
+	if cap(c.keyParts) < len(keys) {
+		c.keyParts = make([]int, len(keys))
+	}
+	if cap(c.origIdx) < len(keys) {
+		c.origIdx = make([]int, len(keys))
+	}
+	kp, origIdx := c.keyParts[:len(keys)], c.origIdx[:len(keys)]
+	for i, k := range keys {
+		p := c.cfg.Topo.PartitionForKey(k)
+		kp[i] = p
+		cursor[p]++
+	}
+	sum := 0
+	for p := 0; p < nparts; p++ {
+		off[p] = sum
+		sum += cursor[p]
+		cursor[p] = off[p]
+	}
+	off[nparts] = sum
+	grouped := make([]string, len(keys))
+	for i, p := range kp {
+		grouped[cursor[p]] = keys[i]
+		origIdx[cursor[p]] = i
+		cursor[p]++
+	}
+
+	c.readSeq++
+	seq := c.readSeq
+	if cap(c.readRes) < len(keys) {
+		c.readRes = make([]message.ReadResult, len(keys))
+	}
+	out := c.readRes[:len(keys)]
+
+	// Fire every partition's request before collecting any reply, so the
+	// per-partition round trips overlap without spawning goroutines.
+	for p := 0; p < nparts; p++ {
+		if off[p+1] == off[p] {
+			continue
+		}
+		c.commitIns[p].Drain()
+		if err := c.sendMultiRead(p, grouped[off[p]:off[p+1]], seq); err != nil {
+			return nil, err
+		}
+		c.obs.Inc(obs.ReadMultiRound)
+	}
+
+	// Collect per partition; a timed-out partition is resent (to a freshly
+	// chosen replica) without disturbing partitions already answered.
+	for p := 0; p < nparts; p++ {
+		want := off[p+1] - off[p]
+		if want == 0 {
+			continue
+		}
+		in := c.commitIns[p]
+		got := false
+		for attempt := 0; attempt <= c.cfg.Retries && !got; attempt++ {
+			if attempt > 0 {
+				c.obs.Inc(obs.ReadMultiRetry)
+				if err := c.sendMultiRead(p, grouped[off[p]:off[p+1]], seq); err != nil {
+					return nil, err
+				}
+			}
+			deadline := c.rt.arm(c.cfg.Timeout)
+		wait:
+			for {
+				// Fast path: a reply that is already queued (the replica ran
+				// while this goroutine was collecting another partition) is
+				// taken without the full select machinery.
+				var m *message.Message
+				select {
+				case m = <-in.C:
+				default:
+					select {
+					case m = <-in.C:
+					case <-deadline:
+						break wait
+					}
+				}
+				if m.Type != message.TypeMultiReadReply || m.Seq != seq || len(m.Reads) != want {
+					continue // stale reply from an earlier operation
+				}
+				for j := range m.Reads {
+					out[origIdx[off[p]+j]] = m.Reads[j]
+				}
+				got = true
+				break wait
+			}
+		}
+		if !got {
+			return nil, ErrTimeout
+		}
+	}
+	return out, nil
+}
+
 // Txn accumulates a transaction's read and write sets on the client, with
 // read-your-writes and read-caching semantics.
+//
+// Set membership is checked by linear scan, not an index map: OLTP read/write
+// sets are a handful of entries (YCSB-T touches 4 keys, Retwis at most a
+// dozen), where scanning a slice beats hashing and — unlike two lazily built
+// maps — costs the commit hot path zero allocations.
 type Txn struct {
 	c        *Coordinator
 	reads    []message.ReadSetEntry
 	readVals [][]byte
 	writes   []message.WriteSetEntry
-	writeIdx map[string]int
-	readIdx  map[string]int
 
 	// committedAt is the serialization timestamp, set once Commit decides.
 	committedAt timestamp.Timestamp
 	id          timestamp.TxnID
 }
 
-// Begin starts a new transaction. The read/write index maps are created
-// lazily on first use, so read-only or write-only transactions skip the
-// allocations entirely (lookups on a nil map are legal and fast).
+// Begin starts a new transaction.
 func (c *Coordinator) Begin() *Txn {
 	return &Txn{c: c}
+}
+
+// findWrite returns the write-set position of key, or -1.
+func (t *Txn) findWrite(key string) int {
+	for i := range t.writes {
+		if t.writes[i].Key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// findRead returns the read-set position of key, or -1.
+func (t *Txn) findRead(key string) int {
+	for i := range t.reads {
+		if t.reads[i].Key == key {
+			return i
+		}
+	}
+	return -1
 }
 
 // Read returns the value of key as of this transaction's snapshot: a
 // buffered write if the transaction wrote the key, the previously read value
 // if it already read it, or a fresh versioned read from a replica.
 func (t *Txn) Read(key string) ([]byte, error) {
-	if i, ok := t.writeIdx[key]; ok {
+	if i := t.findWrite(key); i >= 0 {
 		return t.writes[i].Value, nil
 	}
-	if i, ok := t.readIdx[key]; ok {
+	if i := t.findRead(key); i >= 0 {
 		return t.readVals[i], nil
 	}
 	val, ver, _, err := t.c.Read(key)
 	if err != nil {
 		return nil, err
 	}
-	if t.readIdx == nil {
-		t.readIdx = make(map[string]int)
-	}
-	t.readIdx[key] = len(t.reads)
 	t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: ver})
 	t.readVals = append(t.readVals, val)
 	return val, nil
 }
 
+// ReadMany reads every key in keys as of this transaction's snapshot,
+// batching all keys that need a replica round trip into one coordinator
+// ReadMany call (one multi-read per touched partition, in parallel). The
+// returned values are index-aligned with keys. Buffered writes, earlier
+// reads, and duplicate keys within the batch are honored exactly as per-key
+// Read would: each key is fetched at most once and lands in the read set at
+// most once.
+func (t *Txn) ReadMany(keys []string) ([][]byte, error) {
+	vals := make([][]byte, len(keys))
+	fetch := make([]string, 0, len(keys))
+	for _, key := range keys {
+		if t.findWrite(key) >= 0 || t.findRead(key) >= 0 {
+			continue
+		}
+		dup := false
+		for _, f := range fetch {
+			if f == key {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			fetch = append(fetch, key)
+		}
+	}
+	if len(fetch) > 0 {
+		res, err := t.c.ReadMany(fetch)
+		if err != nil {
+			return nil, err
+		}
+		// Grow the read set once for the whole batch rather than along the
+		// append doubling chain — under GOMAXPROCS=1 the GC competes with the
+		// replicas for the CPU, so batch-path garbage is latency.
+		if cap(t.reads)-len(t.reads) < len(fetch) {
+			reads := make([]message.ReadSetEntry, len(t.reads), len(t.reads)+len(fetch))
+			copy(reads, t.reads)
+			t.reads = reads
+			readVals := make([][]byte, len(t.readVals), len(t.readVals)+len(fetch))
+			copy(readVals, t.readVals)
+			t.readVals = readVals
+		}
+		for j, key := range fetch {
+			t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: res[j].WTS})
+			t.readVals = append(t.readVals, res[j].Value)
+		}
+	}
+	for i, key := range keys {
+		if j := t.findWrite(key); j >= 0 {
+			vals[i] = t.writes[j].Value
+		} else {
+			vals[i] = t.readVals[t.findRead(key)]
+		}
+	}
+	return vals, nil
+}
+
 // Write buffers a write; nothing reaches any replica until Commit.
 func (t *Txn) Write(key string, value []byte) {
-	if i, ok := t.writeIdx[key]; ok {
+	if i := t.findWrite(key); i >= 0 {
 		t.writes[i].Value = value
 		return
 	}
-	if t.writeIdx == nil {
-		t.writeIdx = make(map[string]int)
-	}
-	t.writeIdx[key] = len(t.writes)
 	t.writes = append(t.writes, message.WriteSetEntry{Key: key, Value: value})
 }
 
@@ -269,34 +534,63 @@ type partTxn struct {
 	txn message.Txn
 }
 
-// split carves the transaction into per-partition pieces.
+// partResult is one partition's validate-phase outcome.
+type partResult struct {
+	commit bool
+	slow   bool
+	err    error
+}
+
+// split carves the transaction into per-partition pieces, emitted in
+// ascending partition order so the send order is deterministic (and tests
+// can assert on it). The partTxn headers live in a scratch reused across
+// commits; the per-partition read/write sets are freshly allocated each
+// time, because validated replicas alias them into their trecords.
 func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
-	if c.cfg.Topo.Partitions == 1 {
-		return []partTxn{{p: 0, txn: message.Txn{ID: tid, ReadSet: t.reads, WriteSet: t.writes}}}
+	nparts := c.cfg.Topo.Partitions
+	if nparts == 1 {
+		c.partsBuf = append(c.partsBuf[:0], partTxn{p: 0, txn: message.Txn{ID: tid, ReadSet: t.reads, WriteSet: t.writes}})
+		return c.partsBuf
 	}
-	m := make(map[int]*message.Txn)
-	get := func(p int) *message.Txn {
-		tx := m[p]
-		if tx == nil {
-			tx = &message.Txn{ID: tid}
-			m[p] = tx
+	if c.partIdx == nil || len(c.partIdx) < nparts {
+		c.partIdx = make([]int, nparts)
+		c.partOff = make([]int, nparts+1)
+	}
+	idx := c.partIdx // idx[p] = 1 + position of partition p in out; 0 = untouched
+	for p := 0; p < nparts; p++ {
+		idx[p] = 0
+	}
+	n := len(t.reads) + len(t.writes)
+	if cap(c.keyParts) < n {
+		c.keyParts = make([]int, n)
+	}
+	kp := c.keyParts[:0]
+	for i := range t.reads {
+		kp = append(kp, c.cfg.Topo.PartitionForKey(t.reads[i].Key))
+	}
+	for i := range t.writes {
+		kp = append(kp, c.cfg.Topo.PartitionForKey(t.writes[i].Key))
+	}
+	c.keyParts = kp
+	for _, p := range kp {
+		idx[p] = 1
+	}
+	out := c.partsBuf[:0]
+	for p := 0; p < nparts; p++ {
+		if idx[p] != 0 {
+			out = append(out, partTxn{p: p, txn: message.Txn{ID: tid}})
+			idx[p] = len(out)
 		}
-		return tx
 	}
-	for _, r := range t.reads {
-		p := c.cfg.Topo.PartitionForKey(r.Key)
-		tx := get(p)
-		tx.ReadSet = append(tx.ReadSet, r)
+	for i := range t.reads {
+		tx := &out[idx[kp[i]]-1].txn
+		tx.ReadSet = append(tx.ReadSet, t.reads[i])
 	}
-	for _, w := range t.writes {
-		p := c.cfg.Topo.PartitionForKey(w.Key)
-		tx := get(p)
-		tx.WriteSet = append(tx.WriteSet, w)
+	for i := range t.writes {
+		tx := &out[idx[kp[len(t.reads)+i]]-1].txn
+		tx.WriteSet = append(tx.WriteSet, t.writes[i])
 	}
-	out := make([]partTxn, 0, len(m))
-	for p, tx := range m {
-		out = append(out, partTxn{p: p, txn: *tx})
-	}
+	c.partsBuf = out
 	return out
 }
 
@@ -320,23 +614,30 @@ func (c *Coordinator) commit(t *Txn) (bool, error) {
 		return true, nil // empty transaction commits trivially; no lifecycle
 	}
 
-	// Steps 2–5 in each touched partition, in parallel.
-	type partResult struct {
-		commit bool
-		slow   bool
-		err    error
+	// Steps 2–5 in each touched partition. A single-partition transaction —
+	// the common case under uniform key hashing — runs inline on the
+	// caller's goroutine with the coordinator's reusable timers: no goroutine
+	// spawn, no channel round trip. Multi-partition transactions fan out one
+	// goroutine per partition, rejoining through the persistent done channel.
+	if cap(c.resultsBuf) < len(parts) {
+		c.resultsBuf = make([]partResult, len(parts))
 	}
-	results := make([]partResult, len(parts))
-	done := make(chan int, len(parts))
-	for i := range parts {
-		go func(i int) {
-			ok, slow, err := c.validatePhase(parts[i].p, &parts[i].txn, ts, coreID)
-			results[i] = partResult{commit: ok, slow: slow, err: err}
-			done <- i
-		}(i)
-	}
-	for range parts {
-		<-done
+	results := c.resultsBuf[:len(parts)]
+	if len(parts) == 1 {
+		ok, slow, err := c.validatePhase(parts[0].p, &parts[0].txn, ts, coreID, &c.pt)
+		results[0] = partResult{commit: ok, slow: slow, err: err}
+	} else {
+		for i := range parts {
+			go func(i int) {
+				var pt phaseTimers
+				ok, slow, err := c.validatePhase(parts[i].p, &parts[i].txn, ts, coreID, &pt)
+				results[i] = partResult{commit: ok, slow: slow, err: err}
+				c.done <- i
+			}(i)
+		}
+		for range parts {
+			<-c.done
+		}
 	}
 
 	// The transaction commits fast only if every partition decided on the
@@ -368,7 +669,7 @@ func (c *Coordinator) commit(t *Txn) (bool, error) {
 	}
 	for i := range parts {
 		ep := c.commitEps[parts[i].p]
-		for _, dst := range c.cfg.Topo.GroupAddrs(parts[i].p, coreID) {
+		for _, dst := range c.group(parts[i].p, coreID) {
 			// One message per destination: the transport stamps Src on
 			// send, so messages must not be shared across Sends.
 			ep.Send(dst, &message.Message{Type: message.TypeCommit, TID: tid, Status: st, CoreID: coreID})
@@ -395,11 +696,13 @@ func (c *Coordinator) commit(t *Txn) (bool, error) {
 // validatePhase runs the commit protocol for one partition and returns the
 // partition's decision: true to commit, false to abort. slow reports whether
 // the decision went through the slow path (an accept round) rather than the
-// fast-path supermajority.
-func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32) (commit, slow bool, err error) {
+// fast-path supermajority. pt supplies the phase's timers, reused across
+// retry attempts (and, for inline single-partition commits, across
+// transactions).
+func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32, pt *phaseTimers) (commit, slow bool, err error) {
 	ep, in := c.commitEps[p], c.commitIns[p]
-	drain(in)
-	group := c.cfg.Topo.GroupAddrs(p, coreID)
+	in.Drain()
+	group := c.group(p, coreID)
 	n := c.cfg.Topo.Replicas
 	fast := c.cfg.Topo.FastQuorum()
 	majority := c.cfg.Topo.Majority()
@@ -425,60 +728,62 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 		var seen uint64 // bit i set <=> replica i replied
 		replied := 0
 		countOK, countAbort := 0, 0
-		deadline := time.NewTimer(c.cfg.Timeout)
+		deadline := pt.deadline.arm(c.cfg.Timeout)
 		var grace <-chan time.Time
 	collect:
 		for {
+			// Fast path: replies already queued (all replicas typically ran
+			// while this goroutine was parked on the first one) skip the
+			// select machinery; grace and deadline only matter once the
+			// queue is empty.
+			var m *message.Message
 			select {
-			case <-grace:
-				break collect
-			case m := <-in.C:
-				if m.Type != message.TypeValidateReply || m.TID != txn.ID {
-					continue
-				}
-				if m.ReplicaID >= 64 || seen&(1<<m.ReplicaID) != 0 {
-					continue
-				}
-				seen |= 1 << m.ReplicaID
-				replied++
-				switch m.Status {
-				case message.StatusValidatedOK:
-					countOK++
-				case message.StatusValidatedAbort:
-					countAbort++
-				case message.StatusCommitted:
-					// Another coordinator already finished it.
-					deadline.Stop()
-					return true, false, nil
-				case message.StatusAborted:
-					deadline.Stop()
-					return false, false, nil
-				}
-				if !c.cfg.DisableFastPath {
-					if countOK >= fast {
-						deadline.Stop()
-						return true, false, nil
-					}
-					if countAbort >= fast {
-						deadline.Stop()
-						return false, false, nil
-					}
-				}
-				if replied == n {
-					deadline.Stop()
+			case m = <-in.C:
+			default:
+				select {
+				case <-grace:
+					break collect
+				case m = <-in.C:
+				case <-deadline:
 					break collect
 				}
-				if replied >= majority && grace == nil {
-					g := c.cfg.Timeout / 10
-					if g <= 0 {
-						g = time.Millisecond
-					}
-					gt := time.NewTimer(g)
-					defer gt.Stop()
-					grace = gt.C
+			}
+			if m.Type != message.TypeValidateReply || m.TID != txn.ID {
+				continue
+			}
+			if m.ReplicaID >= 64 || seen&(1<<m.ReplicaID) != 0 {
+				continue
+			}
+			seen |= 1 << m.ReplicaID
+			replied++
+			switch m.Status {
+			case message.StatusValidatedOK:
+				countOK++
+			case message.StatusValidatedAbort:
+				countAbort++
+			case message.StatusCommitted:
+				// Another coordinator already finished it.
+				return true, false, nil
+			case message.StatusAborted:
+				return false, false, nil
+			}
+			if !c.cfg.DisableFastPath {
+				if countOK >= fast {
+					return true, false, nil
 				}
-			case <-deadline.C:
+				if countAbort >= fast {
+					return false, false, nil
+				}
+			}
+			if replied == n {
 				break collect
+			}
+			if replied >= majority && grace == nil {
+				g := c.cfg.Timeout / 10
+				if g <= 0 {
+					g = time.Millisecond
+				}
+				grace = pt.grace.arm(g)
 			}
 		}
 
@@ -489,7 +794,7 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 			if countOK >= majority {
 				proposal = message.StatusAcceptCommit
 			}
-			commit, err = c.slowPath(p, txn, ts, coreID, proposal, 0)
+			commit, err = c.slowPath(p, txn, ts, coreID, proposal, 0, pt)
 			return commit, true, err
 		}
 	}
@@ -501,9 +806,9 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 // proposal is superseded by a higher view (a backup coordinator took over),
 // the coordinator escalates to the recovery procedure to learn the final
 // outcome.
-func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32, proposal message.Status, view uint64) (bool, error) {
+func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32, proposal message.Status, view uint64, pt *phaseTimers) (bool, error) {
 	ep, in := c.commitEps[p], c.commitIns[p]
-	group := c.cfg.Topo.GroupAddrs(p, coreID)
+	group := c.group(p, coreID)
 	majority := c.cfg.Topo.Majority()
 
 	req := message.Message{
@@ -522,34 +827,38 @@ func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, 
 		var acked uint64 // bitmask, as in validatePhase
 		acks := 0
 		superseded := uint64(0)
-		deadline := time.NewTimer(c.cfg.Timeout)
+		deadline := pt.deadline.arm(c.cfg.Timeout)
 	collect:
 		for {
+			var m *message.Message
 			select {
-			case m := <-in.C:
-				if m.Type != message.TypeAcceptReply || m.TID != txn.ID {
-					continue
+			case m = <-in.C:
+			default:
+				select {
+				case m = <-in.C:
+				case <-deadline:
+					break collect
 				}
-				if !m.OK {
-					if m.View > superseded {
-						superseded = m.View
-					}
-					continue
+			}
+			if m.Type != message.TypeAcceptReply || m.TID != txn.ID {
+				continue
+			}
+			if !m.OK {
+				if m.View > superseded {
+					superseded = m.View
 				}
-				if m.View != view {
-					continue
-				}
-				if m.ReplicaID >= 64 || acked&(1<<m.ReplicaID) != 0 {
-					continue
-				}
-				acked |= 1 << m.ReplicaID
-				acks++
-				if acks >= majority {
-					deadline.Stop()
-					return proposal == message.StatusAcceptCommit, nil
-				}
-			case <-deadline.C:
-				break collect
+				continue
+			}
+			if m.View != view {
+				continue
+			}
+			if m.ReplicaID >= 64 || acked&(1<<m.ReplicaID) != 0 {
+				continue
+			}
+			acked |= 1 << m.ReplicaID
+			acks++
+			if acks >= majority {
+				return proposal == message.StatusAcceptCommit, nil
 			}
 		}
 		if superseded > view {

@@ -167,7 +167,7 @@ func recoverTxn(env recoverEnv, tid timestamp.TxnID, coreID uint32, proposer, se
 
 	for attempt := 0; attempt <= env.retries; attempt++ {
 		view := MakeView(round, proposer)
-		drain(env.in)
+		env.in.Drain()
 
 		// Phase 1: coordinator change — a majority promises to ignore
 		// lower-viewed proposals and reports its record for tid.

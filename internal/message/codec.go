@@ -262,6 +262,17 @@ func Encode(buf []byte, m *Message) []byte {
 		e.ts(ks.RTS)
 	}
 	e.u32(m.ReplicaID)
+	e.uvarint(uint64(len(m.Keys)))
+	for i := range m.Keys {
+		e.str(m.Keys[i])
+	}
+	e.uvarint(uint64(len(m.Reads)))
+	for i := range m.Reads {
+		r := &m.Reads[i]
+		e.bytes(r.Value)
+		e.ts(r.WTS)
+		e.bool(r.OK)
+	}
 	return e.buf
 }
 
@@ -343,6 +354,25 @@ func DecodeInto(m *Message, buf []byte) error {
 		ks.RTS = d.ts()
 	}
 	m.ReplicaID = d.u32()
+	n = d.length()
+	if d.err != nil {
+		n = 0
+	}
+	m.Keys = grow(m.Keys, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Keys[i] = d.str()
+	}
+	n = d.length()
+	if d.err != nil {
+		n = 0
+	}
+	m.Reads = grow(m.Reads, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		r := &m.Reads[i]
+		r.Value = d.bytes(r.Value)
+		r.WTS = d.ts()
+		r.OK = d.bool()
+	}
 	if d.err != nil {
 		return d.err
 	}

@@ -59,6 +59,11 @@ func sampleMessage() *Message {
 			},
 		},
 		ReplicaID: 2,
+		Keys:      []string{"k1", "k2", "k3"},
+		Reads: []ReadResult{
+			{Value: []byte("v1"), WTS: timestamp.Timestamp{Time: 8, ClientID: 1}, OK: true},
+			{Value: nil, OK: false},
+		},
 	}
 }
 

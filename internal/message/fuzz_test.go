@@ -41,7 +41,7 @@ func randomMessage(rng *rand.Rand) *Message {
 		return t
 	}
 	m := &Message{
-		Type:   Type(rng.Intn(int(TypeStateReply) + 1)),
+		Type:   Type(rng.Intn(int(TypeMultiReadReply) + 1)),
 		Txn:    rtxn(),
 		TID:    timestamp.TxnID{Seq: rng.Uint64() % 1000, ClientID: 5},
 		TS:     rts(),
@@ -69,6 +69,12 @@ func randomMessage(rng *rand.Rand) *Message {
 	}
 	for i := rng.Intn(3); i > 0; i-- {
 		m.State = append(m.State, KeyState{Key: rstr(), Value: rbytes(), WTS: rts(), RTS: rts()})
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		m.Keys = append(m.Keys, rstr())
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		m.Reads = append(m.Reads, ReadResult{Value: rbytes(), WTS: rts(), OK: rng.Intn(2) == 0})
 	}
 	return m
 }
@@ -159,6 +165,11 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0xFF})
 	f.Add(Encode(nil, &Message{Type: TypeCommit}))
 	f.Add(Encode(nil, sampleMessage()))
+	f.Add(Encode(nil, &Message{Type: TypeMultiRead, Seq: 3, Keys: []string{"a", "b", "c"}}))
+	f.Add(Encode(nil, &Message{Type: TypeMultiReadReply, Seq: 3, ReplicaID: 1, Reads: []ReadResult{
+		{Value: []byte("v"), WTS: timestamp.Timestamp{Time: 2, ClientID: 1}, OK: true},
+		{OK: false},
+	}}))
 	for i := 0; i < 8; i++ {
 		f.Add(Encode(nil, randomMessage(rng)))
 	}

@@ -59,6 +59,13 @@ const (
 	// Replica state transfer (recovery, §5.3.1).
 	TypeStateRequest // recovering replica -> live replica: one shard
 	TypeStateReply   // live replica -> recovering replica
+
+	// Batched execution phase: one round trip fetches a whole read set's
+	// worth of keys from one partition (§5.2.1's "reads go to any replica",
+	// amortized). Appended after the earlier types so existing type numbers
+	// stay stable on the wire.
+	TypeMultiRead      // coordinator -> any replica: read Keys, in order
+	TypeMultiReadReply // replica -> coordinator: Reads[i] answers Keys[i]
 )
 
 var typeNames = [...]string{
@@ -86,6 +93,8 @@ var typeNames = [...]string{
 	TypeSweep:                  "sweep",
 	TypeStateRequest:           "state-request",
 	TypeStateReply:             "state-reply",
+	TypeMultiRead:              "multi-read",
+	TypeMultiReadReply:         "multi-read-reply",
 }
 
 // String returns the message type's protocol name.
@@ -165,6 +174,15 @@ type TRecordEntry struct {
 	CoreID     uint32 // trecord partition the entry belongs to
 }
 
+// ReadResult is one key's answer in a multi-read reply: the latest committed
+// value and version, or OK=false (with zero WTS) for a key that has never
+// been written — still a meaningful read that validation will check.
+type ReadResult struct {
+	Value []byte
+	WTS   timestamp.Timestamp
+	OK    bool
+}
+
 // KeyState is one key's committed state as shipped during replica state
 // transfer: latest version plus read timestamp.
 type KeyState struct {
@@ -227,6 +245,13 @@ type Message struct {
 
 	// ReplicaID identifies the responding replica in replies.
 	ReplicaID uint32
+
+	// Batched execution phase. A multi-read request carries Keys; the reply
+	// carries Reads, index-aligned with the request's Keys. (Encoded after
+	// the fields above so the offsets of the original wire format are
+	// unchanged.)
+	Keys  []string
+	Reads []ReadResult
 }
 
 // String gives a short human-readable rendering for logs and test failures.
@@ -246,6 +271,10 @@ func (m *Message) String() string {
 		return fmt.Sprintf("accept-reply{%v ok=%v r%d}", m.TID, m.OK, m.ReplicaID)
 	case TypeCommit:
 		return fmt.Sprintf("commit{%v %v}", m.TID, m.Status)
+	case TypeMultiRead:
+		return fmt.Sprintf("multi-read{%d keys seq=%d}", len(m.Keys), m.Seq)
+	case TypeMultiReadReply:
+		return fmt.Sprintf("multi-read-reply{%d reads seq=%d r%d}", len(m.Reads), m.Seq, m.ReplicaID)
 	default:
 		return fmt.Sprintf("%v{tid=%v}", m.Type, m.TID)
 	}

@@ -68,9 +68,11 @@ func ReleaseMessage(m *Message) {
 func (m *Message) Reset() {
 	rs, ws := m.Txn.ReadSet[:0], m.Txn.WriteSet[:0]
 	recs, ents, sts := m.Records[:0], m.Entries[:0], m.State[:0]
+	keys, reads := m.Keys[:0], m.Reads[:0]
 	val := m.Value[:0]
 	*m = Message{}
 	m.Txn.ReadSet, m.Txn.WriteSet = rs, ws
 	m.Records, m.Entries, m.State = recs, ents, sts
+	m.Keys, m.Reads = keys, reads
 	m.Value = val
 }

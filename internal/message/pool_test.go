@@ -73,7 +73,8 @@ func TestMessageReset(t *testing.T) {
 	}
 	m.Reset()
 	if m.Type != TypeInvalid || m.Key != "" || m.OK || len(m.Txn.ReadSet) != 0 ||
-		len(m.Records) != 0 || len(m.Entries) != 0 || len(m.State) != 0 || len(m.Value) != 0 {
+		len(m.Records) != 0 || len(m.Entries) != 0 || len(m.State) != 0 || len(m.Value) != 0 ||
+		len(m.Keys) != 0 || len(m.Reads) != 0 {
 		t.Fatalf("Reset left state behind: %+v", m)
 	}
 	ReleaseMessage(m)
@@ -97,6 +98,48 @@ func TestPooledEncodeZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("pooled encode allocated %v objects/op, want 0", allocs)
+	}
+}
+
+// TestPooledMultiReadZeroAllocs gates the batched execution phase's codec
+// cost: encoding a multi-read request and a multi-read reply through pooled
+// Encoders, and decoding the reply into a recycled Message (the coordinator's
+// steady state — reply values reuse the previous decode's capacity), must not
+// allocate. Request decode is exempt: key strings are freshly allocated by
+// design, since the replica's vstore lookup retains them.
+func TestPooledMultiReadZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; gate runs without -race")
+	}
+	req := &Message{Type: TypeMultiRead, Seq: 9, Keys: []string{"user_1", "user_2", "user_3"}}
+	reply := &Message{Type: TypeMultiReadReply, Seq: 9, ReplicaID: 2, Reads: []ReadResult{
+		{Value: []byte("balance=42"), WTS: timestamp.Timestamp{Time: 10, ClientID: 1}, OK: true},
+		{Value: []byte("balance=43"), WTS: timestamp.Timestamp{Time: 11, ClientID: 1}, OK: true},
+		{OK: false},
+	}}
+	replyBuf := Encode(nil, reply)
+	// Prime the pools with sized buffers and a decoded message.
+	e := AcquireEncoder()
+	e.EncodeInto(req)
+	e.Release()
+	dst := AcquireMessage()
+	if err := DecodeInto(dst, replyBuf); err != nil {
+		t.Fatal(err)
+	}
+	ReleaseMessage(dst)
+	allocs := testing.AllocsPerRun(200, func() {
+		enc := AcquireEncoder()
+		enc.EncodeInto(req)
+		enc.EncodeInto(reply)
+		enc.Release()
+		m := AcquireMessage()
+		if err := DecodeInto(m, replyBuf); err != nil {
+			t.Fatal(err)
+		}
+		ReleaseMessage(m)
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled multi-read codec allocated %v objects/op, want 0", allocs)
 	}
 }
 

@@ -56,6 +56,11 @@ const (
 	// attempt; ReadRetry the same for execution-phase reads.
 	TxnRetry
 	ReadRetry
+	// ReadMultiRound counts batched multi-read round trips issued (one per
+	// partition per ReadMany call); ReadMultiRetry the resends beyond each
+	// round's first attempt.
+	ReadMultiRound
+	ReadMultiRetry
 
 	// Replica-side per-core counters (one per message handled).
 	ValidateOK       // validations that passed the OCC checks
@@ -67,6 +72,7 @@ const (
 	CoordChange      // coordinator-change promises granted (backup recovery)
 	SweepRecovery    // stalled transactions handed to the backup coordinator
 	EpochChangePause // cores paused and snapshotted by an epoch change
+	MultiReadServed  // multi-read requests answered (keys served in batches)
 
 	// Recovery-coordinator counters (internal/recovery).
 	EpochChangeRun   // epoch changes driven to completion
@@ -87,6 +93,8 @@ var counterNames = [NumCounters]string{
 	TxnAbortTimeout:     "txn_abort_timeout",
 	TxnRetry:            "txn_retry",
 	ReadRetry:           "read_retry",
+	ReadMultiRound:      "read_multi_round",
+	ReadMultiRetry:      "read_multi_retry",
 	ValidateOK:          "replica_validate_ok",
 	ValidateAbort:       "replica_validate_abort",
 	AcceptAcked:         "replica_accept_acked",
@@ -96,6 +104,7 @@ var counterNames = [NumCounters]string{
 	CoordChange:         "replica_coord_change",
 	SweepRecovery:       "replica_sweep_recovery",
 	EpochChangePause:    "replica_epoch_change_pause",
+	MultiReadServed:     "replica_multi_read_served",
 	EpochChangeRun:      "recovery_epoch_change_run",
 	EpochMergedTxn:      "recovery_epoch_merged_txn",
 	EpochRevalidated:    "recovery_epoch_revalidated",

@@ -150,6 +150,23 @@ func (t *Txn) Read(key string) ([]byte, error) {
 	return val, nil
 }
 
+// ReadMany reads a batch of keys with the same snapshot semantics as per-key
+// Read, returning values index-aligned with keys. The primary-backup
+// baselines have no batched read message — their execution phase is not what
+// the comparison studies — so this is a plain sequential loop kept only for
+// interface parity with the Meerkat client.
+func (t *Txn) ReadMany(keys []string) ([][]byte, error) {
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		v, err := t.Read(k)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
 // Write buffers a write.
 func (t *Txn) Write(key string, value []byte) {
 	if i, ok := t.writeIdx[key]; ok {

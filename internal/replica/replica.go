@@ -264,6 +264,8 @@ func (c *core) handle(m *message.Message) {
 	switch m.Type {
 	case message.TypeRead:
 		c.handleRead(m)
+	case message.TypeMultiRead:
+		c.handleMultiRead(m)
 	case message.TypeValidate:
 		c.handleValidate(m)
 	case message.TypeAccept:
@@ -312,6 +314,26 @@ func (c *core) handleRead(m *message.Message) {
 		Type: message.TypeReadReply,
 		Key:  m.Key, Seq: m.Seq,
 		Value: v.Value, TS: v.WTS, OK: ok,
+		ReplicaID: uint32(c.r.cfg.Index),
+	})
+}
+
+// handleMultiRead serves a whole batch of execution-phase reads in one
+// handler pass: one reply slot per requested key, index-aligned with the
+// request. Like single reads, the batch only touches the lock-free versioned
+// store — never the trecord — so any core of any replica can serve it, and
+// batching adds no coordination.
+func (c *core) handleMultiRead(m *message.Message) {
+	reads := make([]message.ReadResult, len(m.Keys))
+	for i, k := range m.Keys {
+		v, ok := c.r.store.Read(k)
+		reads[i] = message.ReadResult{Value: v.Value, WTS: v.WTS, OK: ok}
+	}
+	c.obs.Inc(obs.MultiReadServed)
+	c.send(m.Src, &message.Message{
+		Type:      message.TypeMultiReadReply,
+		Seq:       m.Seq,
+		Reads:     reads,
 		ReplicaID: uint32(c.r.cfg.Index),
 	})
 }

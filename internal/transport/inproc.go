@@ -201,6 +201,31 @@ func (r *dropRNG) float64() float64 {
 	return float64(x>>11) / (1 << 53)
 }
 
+// SplitMix64 is a tiny single-goroutine PRNG for replica/core selection on
+// the coordinator hot path: no lock, no heap allocation, and the same
+// deterministic sequence per seed as the endpoint drop PRNGs (it is the same
+// splitmix64 stream, unsynchronized). The zero value is a valid seed.
+type SplitMix64 struct {
+	state uint64
+}
+
+// SeedSplitMix64 returns a SplitMix64 whose stream is derived from seed via
+// the splitmix64 finalizer, matching how endpoints derive their drop PRNGs.
+func SeedSplitMix64(seed uint64) SplitMix64 {
+	return SplitMix64{state: mix64(seed)}
+}
+
+// Uint64 returns the next draw.
+func (r *SplitMix64) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// Intn returns a draw in [0, n). n must be positive.
+func (r *SplitMix64) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
 type inprocEndpoint struct {
 	net    *Inproc
 	addr   message.Addr
@@ -295,5 +320,18 @@ func (in *Inbox) Handle(m *message.Message) {
 	select {
 	case in.C <- m:
 	default:
+	}
+}
+
+// Drain discards buffered messages without blocking, so a fresh request phase
+// does not mistake a stale reply (from a timed-out earlier attempt) for its
+// own.
+func (in *Inbox) Drain() {
+	for {
+		select {
+		case <-in.C:
+		default:
+			return
+		}
 	}
 }

@@ -28,6 +28,15 @@ func (s *TxnSpec) NumOps() int {
 	return len(s.Reads) + 2*len(s.RMWs) + len(s.Writes)
 }
 
+// AppendGets appends every key the transaction reads — plain reads first,
+// then the read halves of the read-modify-writes — to dst and returns it.
+// It gives harnesses the whole read set up front so they can issue it as one
+// batched read instead of one round trip per key.
+func (s *TxnSpec) AppendGets(dst []string) []string {
+	dst = append(dst, s.Reads...)
+	return append(dst, s.RMWs...)
+}
+
 // Generator produces transaction specs. Implementations are not safe for
 // concurrent use; give each client goroutine its own (sharing the rng-free
 // key chooser state is fine because choosers are immutable).

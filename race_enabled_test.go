@@ -1,0 +1,8 @@
+//go:build race
+
+package meerkat_test
+
+// raceEnabled reports whether the race detector is on. Race instrumentation
+// adds bookkeeping allocations, so allocation-count gates skip themselves
+// under -race.
+const raceEnabled = true
