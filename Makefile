@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json check
+.PHONY: build test race vet bench bench-json chaos check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Seeded fault-injection run under the race detector: ambient loss, a
+# partition window, one replica crash+restart; the checker must accept the
+# history and the crash window must force slow-path commits. Set
+# CHAOS_ARTIFACT_DIR to keep the fault-schedule JSON on failure.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/chaos/
 
 check: build vet test race
 

@@ -1,0 +1,253 @@
+package meerkat
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"meerkat/internal/faultnet"
+)
+
+// TestConfigValidate exercises the documented defaults and the rejection of
+// malformed configurations.
+func TestConfigValidate(t *testing.T) {
+	var cfg Config
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if cfg.Replicas != 3 || cfg.Cores != 4 || cfg.Partitions != 1 {
+		t.Fatalf("topology defaults not applied: %+v", cfg)
+	}
+	if cfg.CommitTimeout != 100*time.Millisecond || cfg.Retries != 10 {
+		t.Fatalf("protocol defaults not applied: %+v", cfg)
+	}
+	if cfg.BackoffBase != 500*time.Microsecond || cfg.BackoffMax != 50*time.Millisecond {
+		t.Fatalf("backoff defaults not applied: %+v", cfg)
+	}
+
+	bad := []Config{
+		{Replicas: 2},
+		{Replicas: -3},
+		{DropProb: 1.5},
+		{CommitTimeout: -time.Second},
+		{BackoffBase: time.Second, BackoffMax: time.Millisecond},
+		{Faults: &faultnet.Plan{Rules: []faultnet.Rule{{DropProb: 7}}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("config %d validated: %+v", i, bad[i])
+		}
+	}
+}
+
+// TestSentinelClusterClosed checks that a closed cluster reports
+// ErrClusterClosed from NewClient.
+func TestSentinelClusterClosed(t *testing.T) {
+	cluster, err := NewCluster(Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Close()
+	if _, err := cluster.NewClient(); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("NewClient on closed cluster: %v, want ErrClusterClosed", err)
+	}
+}
+
+// TestCommitCtxExpiredResolves drives the unknown-outcome path end to end:
+// a commit under an already-expired context fails with an error unwrapping
+// to both ErrTimeout and context.DeadlineExceeded, and Resolve then forces
+// the final outcome through the recovery procedure.
+func TestCommitCtxExpiredResolves(t *testing.T) {
+	cluster, err := NewCluster(Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	txn := cl.Begin()
+	txn.Write("ctx-key", []byte("v"))
+	ok, err := txn.CommitCtx(ctx)
+	if ok || err == nil {
+		t.Fatalf("expired-context commit returned (%v, %v)", ok, err)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("commit error %v does not unwrap to ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("commit error %v does not carry context.DeadlineExceeded", err)
+	}
+
+	committed, err := txn.Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	// No validate was ever sent, so recovery must decide abort — and the
+	// key must be unreadable.
+	if committed {
+		t.Fatal("Resolve reported commit for a never-sent transaction")
+	}
+	if v, err := cl.GetStrong("ctx-key"); err != nil || v != nil {
+		t.Fatalf("aborted write visible: (%q, %v)", v, err)
+	}
+
+	// Resolving twice is an error: the uncertainty is gone.
+	if _, err := txn.Resolve(); err == nil {
+		t.Fatal("second Resolve succeeded")
+	}
+}
+
+// TestRunRetriesConflict forces a validation conflict on the first attempt
+// and checks that Run retries to success.
+func TestRunRetriesConflict(t *testing.T) {
+	cluster, err := NewCluster(Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	a, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Put("counter", []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	err = a.Run(context.Background(), func(txn *Txn) error {
+		attempts++
+		if _, err := txn.Read("counter"); err != nil {
+			return err
+		}
+		if attempts == 1 {
+			// A conflicting write from another client invalidates the
+			// read set of attempt one.
+			if err := b.Put("counter", []byte("9")); err != nil {
+				return err
+			}
+		}
+		txn.Write("counter", []byte("1"))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("Run succeeded in %d attempts, want a conflict retry", attempts)
+	}
+	if v, err := a.GetStrong("counter"); err != nil || string(v) != "1" {
+		t.Fatalf("counter = (%q, %v), want \"1\"", v, err)
+	}
+}
+
+// TestRunCtxCanceled checks that Run exits with ErrTimeout once its context
+// is canceled rather than retrying forever.
+func TestRunCtxCanceled(t *testing.T) {
+	cluster, err := NewCluster(Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = cl.Run(ctx, func(txn *Txn) error {
+		txn.Write("k", []byte("v"))
+		return nil
+	})
+	if !errors.Is(err, ErrTimeout) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under canceled ctx: %v, want ErrTimeout wrapping context.Canceled", err)
+	}
+}
+
+// TestRunPropagatesFnError checks that fn's own errors abort the loop
+// unretried.
+func TestRunPropagatesFnError(t *testing.T) {
+	cluster, err := NewCluster(Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	calls := 0
+	err = cl.Run(context.Background(), func(txn *Txn) error {
+		calls++
+		return ErrTxnAborted
+	})
+	if !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("Run: %v, want ErrTxnAborted", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1 (no retry on fn errors)", calls)
+	}
+}
+
+// TestClusterFaultPlan boots a cluster with a fault plan, checks the
+// injector is wired into the fabric (stats move, events fire) and that the
+// workload still commits through it.
+func TestClusterFaultPlan(t *testing.T) {
+	plan := &faultnet.Plan{
+		Seed:  11,
+		Rules: []faultnet.Rule{{SrcNode: faultnet.Any, DstNode: faultnet.Any, SrcCore: faultnet.Any, DstCore: faultnet.Any, DropProb: 0.05}},
+		Events: []faultnet.Event{
+			{At: 1, Op: faultnet.OpHeal}, // benign marker event
+		},
+	}
+	cluster, err := NewCluster(Config{Cores: 2, Seed: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if cluster.FaultNetwork() == nil {
+		t.Fatal("FaultNetwork is nil with Config.Faults set")
+	}
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 50; i++ {
+		if err := cl.Run(context.Background(), func(txn *Txn) error {
+			txn.Write("k", []byte{byte(i)})
+			return nil
+		}); err != nil {
+			t.Fatalf("Run %d under 5%% loss: %v", i, err)
+		}
+	}
+	st := cluster.FaultNetwork().Stats()
+	if st.Sent.Load() == 0 || st.Dropped.Load() == 0 {
+		t.Fatalf("injector saw no traffic: sent=%d dropped=%d", st.Sent.Load(), st.Dropped.Load())
+	}
+	select {
+	case ev := <-cluster.FaultEvents():
+		if ev.Op != faultnet.OpHeal {
+			t.Fatalf("event %+v, want heal", ev)
+		}
+	default:
+		t.Fatal("scheduled event never fired")
+	}
+}

@@ -1,9 +1,13 @@
 package meerkat
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"meerkat/internal/coordinator"
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
 )
 
 // Client executes transactions against a Cluster. Each client embeds its own
@@ -25,7 +29,7 @@ func (c *Cluster) NewClient() (*Client, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, errors.New("meerkat: cluster closed")
+		return nil, ErrClusterClosed
 	}
 	c.nextCli++
 	id := c.nextCli
@@ -38,6 +42,8 @@ func (c *Cluster) NewClient() (*Client, error) {
 		Clock:           c.clientClock(id),
 		Timeout:         c.cfg.CommitTimeout,
 		Retries:         c.cfg.Retries,
+		BackoffBase:     c.cfg.BackoffBase,
+		BackoffMax:      c.cfg.BackoffMax,
 		DisableFastPath: c.cfg.DisableFastPath,
 		Seed:            c.cfg.Seed + int64(id),
 		Obs:             c.obs.NewShard(),
@@ -91,6 +97,14 @@ func (t *Txn) ReadMany(keys []string) ([][]byte, error) {
 	return t.inner.ReadMany(keys)
 }
 
+// ReadManyCtx is ReadMany under a context: per-attempt waits shrink to the
+// context's remaining time and cancellation ends the read early. Reads are
+// idempotent, so a context-expired read is always safe to retry.
+func (t *Txn) ReadManyCtx(ctx context.Context, keys []string) ([][]byte, error) {
+	vals, err := t.inner.ReadManyCtx(ctx, keys)
+	return vals, mapErr(err)
+}
+
 // Write buffers a write of key=value.
 func (t *Txn) Write(key string, value []byte) {
 	t.inner.Write(key, value)
@@ -98,11 +112,20 @@ func (t *Txn) Write(key string, value []byte) {
 
 // Commit runs Meerkat's validation and write phases. It returns true if the
 // transaction committed and false if optimistic validation failed because a
-// conflicting transaction won; in the latter case the caller usually retries.
-// A non-nil error means the outcome could not be determined within the retry
-// budget (e.g. no quorum was reachable).
+// conflicting transaction won; in the latter case the caller usually retries
+// (Client.Run automates this). A non-nil error always unwraps to one of the
+// package sentinels — almost always ErrTimeout, meaning the outcome is
+// unknown until Resolve learns it.
 func (t *Txn) Commit() (bool, error) {
-	ok, err := t.inner.Commit()
+	return t.CommitCtx(context.Background())
+}
+
+// CommitCtx is Commit under a context: the context's deadline bounds the
+// commit protocol's waits and cancellation ends its retries early. A
+// context-expired commit is outcome-unknown exactly like a retry-budget
+// timeout — the error unwraps to both ErrTimeout and the context's error.
+func (t *Txn) CommitCtx(ctx context.Context) (bool, error) {
+	ok, err := t.inner.CommitCtx(ctx)
 	if err == nil {
 		if ok {
 			t.cl.committed++
@@ -110,17 +133,77 @@ func (t *Txn) Commit() (bool, error) {
 			t.cl.aborted++
 		}
 	}
-	return ok, err
+	return ok, mapErr(err)
 }
+
+// Resolve learns — or, if still undecided, forces — the final outcome of a
+// transaction whose Commit returned ErrTimeout, by running the coordinator
+// recovery procedure (§5.3.2) in every partition the commit touched. It
+// reports whether the transaction committed; after Resolve the outcome is
+// final and the uncertainty ErrTimeout left behind is gone.
+func (t *Txn) Resolve() (bool, error) {
+	ok, err := t.inner.Resolve()
+	if err == nil {
+		if ok {
+			t.cl.committed++
+		} else {
+			t.cl.aborted++
+		}
+	}
+	return ok, mapErr(err)
+}
+
+// ID returns the transaction id assigned at commit time.
+func (t *Txn) ID() timestamp.TxnID { return t.inner.ID() }
+
+// Timestamp returns the transaction's serialization timestamp (meaningful
+// once Commit returned true): committed transactions are one-copy
+// serializable in timestamp order.
+func (t *Txn) Timestamp() timestamp.Timestamp { return t.inner.Timestamp() }
+
+// ReadSet and WriteSet expose the transaction's sets for verification
+// tooling (e.g. the serializability checker); callers must not mutate them.
+func (t *Txn) ReadSet() []message.ReadSetEntry   { return t.inner.ReadSet() }
+func (t *Txn) WriteSet() []message.WriteSetEntry { return t.inner.WriteSet() }
 
 // ErrTxnAborted is returned by RunTxn when the transaction body asked to
 // abort.
 var ErrTxnAborted = errors.New("meerkat: transaction aborted by caller")
 
+// Run executes fn inside transactions until one commits: the canonical retry
+// loop. fn builds the transaction — reads, writes — and returns; Run commits
+// it, retrying conflict aborts (and timed-out reads, which are idempotent)
+// with capped exponential backoff and full jitter, and resolving timed-out
+// commits through the recovery procedure rather than guessing. Run returns
+// nil once a transaction commits; an error unwrapping to ErrTimeout once ctx
+// expires; and fn's own error, unretried, for anything else (return
+// ErrTxnAborted from fn to abandon the transaction).
+//
+// fn may run many times and must be safe to re-execute; it must not call
+// Commit itself.
+func (cl *Client) Run(ctx context.Context, fn func(*Txn) error) error {
+	attempts := 0
+	err := cl.coord.Run(ctx, func(inner *coordinator.Txn) error {
+		attempts++
+		return fn(&Txn{inner: inner, cl: cl})
+	})
+	if err == nil {
+		cl.committed++
+		cl.aborted += uint64(attempts - 1)
+		return nil
+	}
+	if attempts > 0 {
+		cl.aborted += uint64(attempts)
+	}
+	return mapErr(err)
+}
+
 // RunTxn executes fn inside a transaction and commits it, retrying
-// validation aborts up to maxAttempts times (0 means a single attempt).
-// It returns true once a run of fn commits. If fn returns an error the
-// transaction is abandoned and that error is returned.
+// validation aborts up to maxAttempts times with no backoff.
+//
+// Deprecated: Use Run, which adds backoff, context support, and resolution
+// of unknown-outcome commits. RunTxn remains for callers that need a strict
+// attempt budget.
 func (cl *Client) RunTxn(maxAttempts int, fn func(*Txn) error) (bool, error) {
 	if maxAttempts < 1 {
 		maxAttempts = 1
@@ -152,7 +235,9 @@ func (cl *Client) Get(key string) ([]byte, error) {
 }
 
 // GetStrong reads key inside a validated transaction, so the returned value
-// is serializable with respect to every committed transaction.
+// is serializable with respect to every committed transaction. A failure
+// unwraps to ErrConflict (the read could not validate within the attempt
+// budget), ErrTimeout, or ErrClusterClosed.
 func (cl *Client) GetStrong(key string) ([]byte, error) {
 	var val []byte
 	ok, err := cl.RunTxn(64, func(t *Txn) error {
@@ -161,26 +246,27 @@ func (cl *Client) GetStrong(key string) ([]byte, error) {
 		return err
 	})
 	if err != nil {
-		return nil, err
+		return nil, mapErr(err)
 	}
 	if !ok {
-		return nil, errors.New("meerkat: strong read did not validate")
+		return nil, fmt.Errorf("%w: strong read did not validate", ErrConflict)
 	}
 	return val, nil
 }
 
 // Put is a convenience single-write transaction. It retries validation
-// aborts until the write commits or the retry budget is exhausted.
+// aborts until the write commits or the attempt budget is exhausted; a
+// failure unwraps to ErrConflict, ErrTimeout, or ErrClusterClosed.
 func (cl *Client) Put(key string, value []byte) error {
 	ok, err := cl.RunTxn(16, func(t *Txn) error {
 		t.Write(key, value)
 		return nil
 	})
 	if err != nil {
-		return err
+		return mapErr(err)
 	}
 	if !ok {
-		return errors.New("meerkat: put did not commit")
+		return fmt.Errorf("%w: put did not commit", ErrConflict)
 	}
 	return nil
 }

@@ -18,6 +18,7 @@
 //	meerkat-bench -exp fig6a -measure 2s
 //	meerkat-bench -exp calibrate       # host-calibrated simulator params
 //	meerkat-bench -exp fig4 -calibrated
+//	meerkat-bench -faults -json out.json   # kill-one-replica timeline
 package main
 
 import (
@@ -34,7 +35,8 @@ import (
 )
 
 var (
-	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|calibrate|all")
+	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|calibrate|all")
+	faults      = flag.Bool("faults", false, "run the kill-one-replica fault-injection timeline (same as -exp faults)")
 	measure     = flag.Duration("measure", 500*time.Millisecond, "measured window per real data point")
 	keys        = flag.Int("keys", 65536, "pre-loaded keys for real runs")
 	threadsCSV  = flag.String("threads", "2,4,8,16,32,48,64,80", "simulated thread counts")
@@ -214,6 +216,13 @@ func main() {
 				return err
 			})
 		}
+	}
+	if want("faults") || *faults {
+		run("Kill-one-replica timeline (measured, fault injection)", func() error {
+			pts, err := bench.FaultTimeline(out, bench.FaultOptions{Seed: 1})
+			report.Add("faults", pts)
+			return err
+		})
 	}
 	if want("latency") {
 		run("Unloaded commit latency (measured, §6.2 latency note)", func() error {

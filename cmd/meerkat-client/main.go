@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -102,24 +103,24 @@ func main() {
 		fmt.Printf("put %s: committed=%v\n", *key, committed)
 
 	case "incr":
-		for attempt := 0; attempt < 32; attempt++ {
-			txn := coord.Begin()
-			cur, err := txn.Read(*key)
+		// The coordinator's Run loop retries contention with backoff and
+		// resolves unknown-outcome commits; the deadline bounds the whole
+		// retry loop over real UDP.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		var n int
+		if err := coord.Run(ctx, func(txn *coordinator.Txn) error {
+			cur, err := txn.ReadCtx(ctx, *key)
 			if err != nil {
-				fail(err)
+				return err
 			}
-			n, _ := strconv.Atoi(string(cur))
+			n, _ = strconv.Atoi(string(cur))
 			txn.Write(*key, []byte(strconv.Itoa(n+1)))
-			committed, err := txn.Commit()
-			if err != nil {
-				fail(err)
-			}
-			if committed {
-				fmt.Printf("%s = %d\n", *key, n+1)
-				return
-			}
+			return nil
+		}); err != nil {
+			fail(fmt.Errorf("incr: %w", err))
 		}
-		fail(fmt.Errorf("incr: retries exhausted (contention)"))
+		fmt.Printf("%s = %d\n", *key, n+1)
 
 	case "bench":
 		gen := workload.NewYCSBT(workload.NewUniform(*benchKeys))

@@ -1,0 +1,51 @@
+package meerkat
+
+import (
+	"errors"
+	"fmt"
+
+	"meerkat/internal/coordinator"
+	"meerkat/internal/transport"
+)
+
+// Sentinel errors of the public API. Every error returned by Txn.Commit,
+// Client.Run, Put, and GetStrong unwraps (errors.Is) to exactly one of
+// these, so callers branch on kind instead of matching message strings.
+var (
+	// ErrConflict means optimistic validation lost to a conflicting
+	// transaction. The transaction had no effect; retrying it (Client.Run
+	// does this automatically, with backoff) usually succeeds.
+	ErrConflict = errors.New("meerkat: transaction conflict")
+
+	// ErrTimeout means the protocol could not assemble the quorums it
+	// needed — within the retry budget, or before the caller's context
+	// expired (the context's error is wrapped alongside, so
+	// errors.Is(err, context.DeadlineExceeded) also works). After a
+	// timed-out Commit the outcome is UNKNOWN: the writes may yet commit.
+	// Txn.Resolve learns the final outcome.
+	ErrTimeout = errors.New("meerkat: timed out, outcome unknown")
+
+	// ErrClusterClosed means the cluster (or this client's endpoints) has
+	// been shut down; no retry can succeed.
+	ErrClusterClosed = errors.New("meerkat: cluster closed")
+)
+
+// mapErr translates internal protocol errors into the public sentinels.
+// Errors already carrying a sentinel (or foreign errors like ErrTxnAborted
+// and fn-supplied errors) pass through unchanged.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrConflict), errors.Is(err, ErrTimeout), errors.Is(err, ErrClusterClosed):
+		return err
+	case errors.Is(err, coordinator.ErrTimeout):
+		// Multi-%w: the result unwraps to ErrTimeout and to whatever the
+		// internal error carries (e.g. context.DeadlineExceeded).
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	case errors.Is(err, transport.ErrClosed):
+		return fmt.Errorf("%w: %w", ErrClusterClosed, err)
+	default:
+		return err
+	}
+}

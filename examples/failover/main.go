@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strconv"
@@ -34,9 +35,13 @@ func main() {
 	}
 	defer client.Close()
 
+	// Run retries conflicts with backoff and — key under failures — resolves
+	// commits whose outcome timed out unknown through the recovery
+	// procedure, so an increment is never silently doubled or dropped.
+	ctx := context.Background()
 	incr := func(times int) {
 		for i := 0; i < times; i++ {
-			ok, err := client.RunTxn(32, func(t *meerkat.Txn) error {
+			err := client.Run(ctx, func(t *meerkat.Txn) error {
 				v, err := t.Read("ctr")
 				if err != nil {
 					return err
@@ -45,8 +50,8 @@ func main() {
 				t.Write("ctr", []byte(strconv.Itoa(n+1)))
 				return nil
 			})
-			if err != nil || !ok {
-				log.Fatalf("increment failed: ok=%v err=%v", ok, err)
+			if err != nil {
+				log.Fatalf("increment failed: %v", err)
 			}
 		}
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,9 +34,11 @@ func main() {
 	}
 	fmt.Printf("write committed: %v\n", committed)
 
-	// A read-modify-write with optimistic retry: Commit returns false when
-	// a conflicting transaction won, so retry until it sticks.
-	ok, err := client.RunTxn(16, func(t *meerkat.Txn) error {
+	// A read-modify-write through the canonical retry loop: Run re-executes
+	// the body on optimistic-validation conflicts (with backoff) until a
+	// transaction commits, and any error it returns unwraps to one of the
+	// package sentinels (ErrConflict, ErrTimeout, ErrClusterClosed).
+	err = client.Run(context.Background(), func(t *meerkat.Txn) error {
 		v, err := t.Read("greeting")
 		if err != nil {
 			return err
@@ -43,8 +46,8 @@ func main() {
 		t.Write("greeting", append(v, '!'))
 		return nil
 	})
-	if err != nil || !ok {
-		log.Fatalf("rmw: ok=%v err=%v", ok, err)
+	if err != nil {
+		log.Fatalf("rmw: %v", err)
 	}
 
 	// A strong (transactionally validated) read.

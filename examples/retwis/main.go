@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -18,12 +19,15 @@ import (
 // tweets:<name> (count), tweet:<name>:<n> (body), timeline:<name>.
 
 type app struct {
-	cl *meerkat.Client
+	cl  *meerkat.Client
+	ctx context.Context
 }
 
 // addUser creates a profile (1 get + writes, the "Add User" transaction).
+// Run retries conflicts; the duplicate-user error is fn's own, so it
+// surfaces unretried.
 func (a *app) addUser(name string) error {
-	ok, err := a.cl.RunTxn(16, func(t *meerkat.Txn) error {
+	return a.cl.Run(a.ctx, func(t *meerkat.Txn) error {
 		existing, err := t.Read("user:" + name)
 		if err != nil {
 			return err
@@ -36,18 +40,11 @@ func (a *app) addUser(name string) error {
 		t.Write("tweets:"+name, []byte("0"))
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	if !ok {
-		return fmt.Errorf("addUser %s: conflicts exhausted retries", name)
-	}
-	return nil
 }
 
 // follow adds follower to followee's follower list ("Follow/Unfollow").
 func (a *app) follow(follower, followee string) error {
-	ok, err := a.cl.RunTxn(16, func(t *meerkat.Txn) error {
+	return a.cl.Run(a.ctx, func(t *meerkat.Txn) error {
 		lst, err := t.Read("followers:" + followee)
 		if err != nil {
 			return err
@@ -70,19 +67,12 @@ func (a *app) follow(follower, followee string) error {
 		t.Write("followers:"+followee, []byte(strings.Join(out, ",")))
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	if !ok {
-		return fmt.Errorf("follow: retries exhausted")
-	}
-	return nil
 }
 
 // post publishes a tweet and fans it out to followers' timelines
 // ("Post Tweet": reads + several writes).
 func (a *app) post(user, text string) error {
-	ok, err := a.cl.RunTxn(16, func(t *meerkat.Txn) error {
+	return a.cl.Run(a.ctx, func(t *meerkat.Txn) error {
 		cntRaw, err := t.Read("tweets:" + user)
 		if err != nil {
 			return err
@@ -114,19 +104,12 @@ func (a *app) post(user, text string) error {
 		}
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	if !ok {
-		return fmt.Errorf("post: retries exhausted")
-	}
-	return nil
 }
 
 // timeline loads a user's timeline ("Load Timeline": 1–10 gets).
 func (a *app) timeline(user string) ([]string, error) {
 	var tweets []string
-	ok, err := a.cl.RunTxn(16, func(t *meerkat.Txn) error {
+	err := a.cl.Run(a.ctx, func(t *meerkat.Txn) error {
 		tweets = tweets[:0]
 		tl, err := t.Read("timeline:" + user)
 		if err != nil {
@@ -154,9 +137,6 @@ func (a *app) timeline(user string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !ok {
-		return nil, fmt.Errorf("timeline: retries exhausted")
-	}
 	return tweets, nil
 }
 
@@ -171,7 +151,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	a := &app{cl: client}
+	a := &app{cl: client, ctx: context.Background()}
 
 	users := []string{"ada", "grace", "barbara", "edsger"}
 	for _, u := range users {

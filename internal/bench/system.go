@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,6 +40,12 @@ type Txn interface {
 // Client issues transactions; one per closed-loop client goroutine.
 type Client interface {
 	Begin() Txn
+	// Run executes fn inside transactions until one commits, retrying
+	// conflict aborts, and reports how many attempts it took (>= 1 on
+	// success). It is the canonical loop the harness measures: the Meerkat
+	// systems route it through the public Client.Run (backoff, resolution
+	// of unknown outcomes), the PB baselines through a plain retry loop.
+	Run(ctx context.Context, fn func(Txn) error) (attempts int, err error)
 	Close()
 }
 
@@ -146,6 +153,15 @@ type meerkatClient struct{ cl *meerkat.Client }
 func (c *meerkatClient) Begin() Txn { return c.cl.Begin() }
 func (c *meerkatClient) Close()     { c.cl.Close() }
 
+func (c *meerkatClient) Run(ctx context.Context, fn func(Txn) error) (int, error) {
+	attempts := 0
+	err := c.cl.Run(ctx, func(t *meerkat.Txn) error {
+		attempts++
+		return fn(t)
+	})
+	return attempts, err
+}
+
 // pbSystem hosts the KuaFu++ and Meerkat-PB replica groups.
 type pbSystem struct {
 	cfg    SystemConfig
@@ -231,3 +247,22 @@ type pbClientAdapter struct{ cl *pbclient.Client }
 
 func (c *pbClientAdapter) Begin() Txn { return c.cl.Begin() }
 func (c *pbClientAdapter) Close()     { c.cl.Close() }
+
+func (c *pbClientAdapter) Run(ctx context.Context, fn func(Txn) error) (int, error) {
+	for attempts := 1; ; attempts++ {
+		if err := ctx.Err(); err != nil {
+			return attempts - 1, err
+		}
+		txn := c.cl.Begin()
+		if err := fn(txn); err != nil {
+			return attempts, err
+		}
+		ok, err := txn.Commit()
+		if err != nil {
+			return attempts, err
+		}
+		if ok {
+			return attempts, nil
+		}
+	}
+}

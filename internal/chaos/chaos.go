@@ -1,0 +1,329 @@
+// Package chaos runs the paper's workloads through the deterministic
+// fault-injection layer (internal/faultnet) and verifies that the system's
+// behaviour under faults matches its claims: every surviving history is
+// one-copy serializable (internal/checker), no transaction outcome is left
+// unknown (timed-out commits are resolved through the recovery procedure),
+// and the commit mix shifts from the fast path to the slow path while a
+// replica is unreachable (internal/obs).
+//
+// The harness is the bridge between the injector's transport-level faults
+// and the cluster's replica lifecycle: it consumes the injector's fired
+// events and mirrors crash/restart black-holes onto real CrashReplica /
+// RecoverReplica calls, so an injected crash exercises state transfer and
+// epoch change, not just message loss.
+//
+// Determinism: the fault schedule is pure data — Run with a fixed seed
+// produces a byte-for-byte identical serialized plan (Result.Plan) and, for
+// the schedules shipped here, the same checker verdict on every run. The
+// interleaving of client transactions remains scheduler-dependent; the
+// faults they run under do not.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meerkat"
+	"meerkat/internal/checker"
+	"meerkat/internal/faultnet"
+	"meerkat/internal/obs"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/topo"
+	"meerkat/internal/workload"
+)
+
+// Config parameterizes one chaos run. The zero value (plus a seed) is a
+// usable smoke configuration.
+type Config struct {
+	// Seed drives everything random: the fault plan, the per-client
+	// workload generators, and the injector's per-link decision streams.
+	Seed int64
+	// Workload is "ycsb-t" (default) or "retwis".
+	Workload string
+	// Clients is the number of closed-loop client goroutines. Default 4.
+	Clients int
+	// Keys is the preloaded keyspace size. Default 256.
+	Keys int
+	// Theta is the Zipf coefficient of key popularity. Default 0 (uniform).
+	Theta float64
+	// TailTxns is how many transactions the clients commit after the last
+	// scheduled fault event has fired, so recovery is exercised by real
+	// traffic before the run ends. Default 50.
+	TailTxns int
+	// Timeout bounds the whole run. Default 2 minutes.
+	Timeout time.Duration
+	// Plan overrides the fault schedule; nil uses DefaultPlan(Seed).
+	Plan *faultnet.Plan
+	// Cores per replica. Default 2 (keeps -race runs cheap).
+	Cores int
+	// CommitTimeout is the cluster's per-round-trip wait. Default 25ms —
+	// short, so a dropped message costs a quick resend, not a long stall.
+	CommitTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Workload == "" {
+		c.Workload = "ycsb-t"
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Keys == 0 {
+		c.Keys = 256
+	}
+	if c.TailTxns == 0 {
+		c.TailTxns = 50
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	if c.Cores == 0 {
+		c.Cores = 2
+	}
+	if c.CommitTimeout == 0 {
+		c.CommitTimeout = 25 * time.Millisecond
+	}
+	if c.Plan == nil {
+		c.Plan = DefaultPlan(c.Seed)
+	}
+}
+
+// DefaultPlan is the canonical smoke schedule over a 3-replica group
+// (nodes 0, 1, 2): a light uniform drop rule from the start, a partition
+// window isolating replica 1, and — after the network heals — a crash and
+// later restart of replica 2. Event triggers are global send counts; the
+// harness keeps traffic flowing until every event has fired, so the whole
+// schedule always executes.
+func DefaultPlan(seed int64) *faultnet.Plan {
+	t := topo.Topology{Partitions: 1, Replicas: 3, Cores: 1}
+	iso := t.ReplicaNode(0, 1)
+	victim := t.ReplicaNode(0, 2)
+	return &faultnet.Plan{
+		Seed: seed,
+		Rules: []faultnet.Rule{{
+			ID:      "ambient-loss",
+			SrcNode: faultnet.Any, DstNode: faultnet.Any,
+			SrcCore: faultnet.Any, DstCore: faultnet.Any,
+			DropProb: 0.02,
+		}},
+		Events: []faultnet.Event{
+			{At: 500, Op: faultnet.OpPartition, Groups: [][]uint32{{iso}}},
+			{At: 1500, Op: faultnet.OpHeal},
+			{At: 2500, Op: faultnet.OpCrash, Node: victim},
+			{At: 7000, Op: faultnet.OpRestart, Node: victim},
+		},
+	}
+}
+
+// Result is one chaos run's outcome.
+type Result struct {
+	// Plan is the serialized fault schedule that ran — the byte-for-byte
+	// reproducible artifact. Persist it to replay the run.
+	Plan []byte
+
+	// Committed is the number of transactions in the verified history;
+	// Resolved of those had an unknown outcome that the client settled
+	// through the recovery procedure (commit or abort); Unresolved counts
+	// transactions whose outcome is STILL unknown after resolution was
+	// attempted — any nonzero value voids the checker verdict, because the
+	// history may be missing committed writes.
+	Committed  int
+	Resolved   uint64
+	Unresolved int
+	// RunErrors counts Client.Run calls that failed outright.
+	RunErrors int
+
+	// Crashes and Restarts count replica lifecycle transitions the harness
+	// performed on behalf of the schedule.
+	Crashes  int
+	Restarts int
+
+	// FastCommits and SlowCommits are the cluster-wide commit-path counts;
+	// under a crash window the slow path must appear.
+	FastCommits uint64
+	SlowCommits uint64
+
+	// Violations and DupTimestamps are the checker verdict: the history is
+	// one-copy serializable iff both are empty.
+	Violations    []checker.Violation
+	DupTimestamps int
+
+	// Faults summarizes the injector's activity.
+	Faults faultnet.PlanStats
+}
+
+// Ok reports the overall verdict: a fully resolved, serializable history.
+func (r *Result) Ok() bool {
+	return r.Unresolved == 0 && len(r.Violations) == 0 && r.DupTimestamps == 0
+}
+
+// Run executes one chaos run: boot a faulted cluster, preload the keyspace,
+// drive the workload from cfg.Clients closed-loop clients while mirroring
+// crash/restart events onto the replica lifecycle, keep going until the
+// whole fault schedule has fired plus cfg.TailTxns commits of recovered
+// traffic, then check the history.
+func Run(cfg Config) (*Result, error) {
+	cfg.fill()
+	planBytes, err := cfg.Plan.Dump()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: planBytes}
+
+	cluster, err := meerkat.NewCluster(meerkat.Config{
+		Cores:         cfg.Cores,
+		Seed:          cfg.Seed,
+		Faults:        cfg.Plan,
+		CommitTimeout: cfg.CommitTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	// Preload every key so the checker's initial state is exact.
+	initial := make(map[string]timestamp.Timestamp, cfg.Keys)
+	loadTS := timestamp.Timestamp{Time: 1, ClientID: 0}
+	value := workload.Value(64)
+	for i := 0; i < cfg.Keys; i++ {
+		k := workload.KeyName(i)
+		cluster.Load(k, value)
+		initial[k] = loadTS
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+
+	// The lifecycle controller mirrors fired crash/restart events onto the
+	// real replicas. A restart is retried: right after the black-hole lifts
+	// the ambient drop rule can still fail a state transfer.
+	ctlDone := make(chan struct{})
+	go func() {
+		defer close(ctlDone)
+		for {
+			select {
+			case ev := <-cluster.FaultEvents():
+				p, r, ok := cluster.ReplicaOf(ev.Node)
+				switch {
+				case ev.Op == faultnet.OpCrash && ok:
+					cluster.CrashReplica(p, r)
+					res.Crashes++
+				case ev.Op == faultnet.OpRestart && ok:
+					for try := 0; try < 100; try++ {
+						if err := cluster.RecoverReplica(p, r); err == nil {
+							res.Restarts++
+							break
+						}
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(20 * time.Millisecond):
+						}
+					}
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Clients run until the schedule has fully fired and TailTxns more
+	// transactions have committed on the recovered cluster (or ctx
+	// expires). Event triggers are send counts, so continuing to generate
+	// traffic is what guarantees every event eventually fires.
+	nEvents := uint64(len(cfg.Plan.Events))
+	fnet := cluster.FaultNetwork()
+	allFired := func() bool { return fnet.Stats().EventsFired.Load() >= nEvents }
+
+	hist := checker.New()
+	var tail atomic.Int64
+	var stop atomic.Bool
+	var unresolved, runErrors atomic.Int64
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := cluster.NewClient()
+			if err != nil {
+				runErrors.Add(1)
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+			gen := newGenerator(cfg, rng)
+			var gets []string
+			for !stop.Load() && ctx.Err() == nil {
+				spec := gen.Next(rng)
+				gets = spec.AppendGets(gets[:0])
+				var last *meerkat.Txn
+				err := cl.Run(ctx, func(t *meerkat.Txn) error {
+					last = t
+					if len(gets) > 0 {
+						if _, err := t.ReadManyCtx(ctx, gets); err != nil {
+							return err
+						}
+					}
+					for _, k := range spec.RMWs {
+						t.Write(k, value)
+					}
+					for _, k := range spec.Writes {
+						t.Write(k, value)
+					}
+					return nil
+				})
+				if err != nil {
+					runErrors.Add(1)
+					if errors.Is(err, meerkat.ErrTimeout) && last != nil {
+						// Run could not settle the outcome; the history
+						// may be missing a committed transaction.
+						unresolved.Add(1)
+					}
+					continue
+				}
+				hist.Add(checker.CommittedTxn{
+					ID: last.ID(), TS: last.Timestamp(),
+					ReadSet: last.ReadSet(), WriteSet: last.WriteSet(),
+				})
+				if allFired() && tail.Add(1) >= int64(cfg.TailTxns) {
+					stop.Store(true)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	cancel()
+	<-ctlDone
+
+	if ctx.Err() != nil && !allFired() {
+		return nil, fmt.Errorf("chaos: deadline before schedule completed (%d/%d events fired)",
+			fnet.Stats().EventsFired.Load(), nEvents)
+	}
+
+	snap := cluster.Obs().Snapshot()
+	res.Committed = hist.Len()
+	res.Resolved = snap.Counters[obs.TxnResolveCommit] + snap.Counters[obs.TxnResolveAbort]
+	res.Unresolved = int(unresolved.Load())
+	res.RunErrors = int(runErrors.Load())
+	res.FastCommits = snap.Counters[obs.TxnCommitFast]
+	res.SlowCommits = snap.Counters[obs.TxnCommitSlow]
+	res.Faults = fnet.Stats().Summary()
+	res.Violations = hist.Check(initial)
+	res.DupTimestamps = len(hist.CheckUniqueTimestamps())
+	return res, nil
+}
+
+// newGenerator builds the workload generator for cfg.
+func newGenerator(cfg Config, rng *rand.Rand) workload.Generator {
+	chooser := workload.NewChooser(cfg.Keys, cfg.Theta)
+	if cfg.Workload == "retwis" {
+		return workload.NewRetwis(chooser)
+	}
+	return workload.NewYCSBT(chooser)
+}

@@ -9,6 +9,7 @@
 package coordinator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -42,6 +43,14 @@ type Config struct {
 	// Retries is how many times each request is resent before giving up.
 	// Defaults to 10.
 	Retries int
+	// BackoffBase and BackoffMax bound the capped exponential backoff
+	// inserted before each resend: attempt k sleeps a uniformly jittered
+	// duration in (0, min(BackoffBase<<k, BackoffMax)]. Under injected
+	// faults (drops, partitions, a crashed replica) the backoff keeps a
+	// fleet of retrying clients from hammering the surviving replicas in
+	// lockstep. Defaults: 500µs base, 50ms cap.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
 	// DisableFastPath forces every transaction through the slow path, an
 	// ablation knob quantifying the fast path's round-trip saving.
 	DisableFastPath bool
@@ -61,6 +70,12 @@ func (c *Config) fill() {
 	}
 	if c.Retries == 0 {
 		c.Retries = 10
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 500 * time.Microsecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 50 * time.Millisecond
 	}
 	if c.Seed == 0 {
 		c.Seed = int64(c.ClientID + 1)
@@ -98,6 +113,59 @@ type phaseTimers struct {
 	grace    rtimer
 }
 
+// backoffDelay computes the capped exponential backoff before retry k
+// (0-based): a uniformly jittered duration in (0, min(base<<k, max)]. Full
+// jitter rather than base-plus-jitter, so colliding clients decorrelate as
+// fast as possible. The draw comes from the caller's private stream — the
+// concurrent per-partition phases of one commit must not contend (or race)
+// on the coordinator's shared rng.
+func backoffDelay(base, max time.Duration, k int, rng *transport.SplitMix64) time.Duration {
+	d := max
+	if k < 63 {
+		if s := base << uint(k); s > 0 && s < max {
+			d = s
+		}
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Uint64()%uint64(d)) + 1
+}
+
+// sleep parks the goroutine for d, or less if ctx expires first. Callers
+// re-check the context via waitBudget right after, so no error is returned.
+func sleep(ctx context.Context, d time.Duration, rt *rtimer) {
+	if d <= 0 {
+		return
+	}
+	select {
+	case <-rt.arm(d):
+	case <-ctx.Done():
+	}
+}
+
+// waitBudget returns the quorum-wait budget for one protocol attempt under
+// ctx: cfg.Timeout, clamped to the context's remaining time. An expired
+// context yields an error that unwraps to both ErrTimeout and the context's
+// own error — the outcome of an in-flight commit is unknown, exactly as on a
+// retry-budget timeout.
+func (c *Coordinator) waitBudget(ctx context.Context) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	d := c.cfg.Timeout
+	if deadline, ok := ctx.Deadline(); ok {
+		r := time.Until(deadline)
+		if r <= 0 {
+			return 0, fmt.Errorf("%w: %w", ErrTimeout, context.DeadlineExceeded)
+		}
+		if r < d {
+			d = r
+		}
+	}
+	return d, nil
+}
+
 // Coordinator drives transactions for one client. It is not safe for
 // concurrent use: each closed-loop client owns one.
 type Coordinator struct {
@@ -127,10 +195,10 @@ type Coordinator struct {
 	done       chan int    // multi-partition commit fan-in, reused across commits
 	partsBuf   []partTxn   // split output headers (per-partition sets stay fresh)
 	resultsBuf []partResult
-	keyParts   []int // partition of each key/entry during split and ReadMany
-	partIdx    []int // per-partition scratch indexed by partition id
-	partOff    []int // ReadMany group offsets, len Partitions+1
-	origIdx    []int // ReadMany: original index of each grouped key
+	keyParts   []int                // partition of each key/entry during split and ReadMany
+	partIdx    []int                // per-partition scratch indexed by partition id
+	partOff    []int                // ReadMany group offsets, len Partitions+1
+	origIdx    []int                // ReadMany: original index of each grouped key
 	readRes    []message.ReadResult // ReadMany result scratch, returned to the caller
 
 	// groups[p*Cores+core] is the broadcast destination set for (p, core),
@@ -206,6 +274,13 @@ func (c *Coordinator) Close() {
 // key returns ok=false with version Zero — still a meaningful read that the
 // validation phase will check.
 func (c *Coordinator) Read(key string) (value []byte, version timestamp.Timestamp, ok bool, err error) {
+	return c.ReadCtx(context.Background(), key)
+}
+
+// ReadCtx is Read under a context: the per-attempt wait shrinks to the
+// context's remaining time, and cancellation ends the retry loop early.
+// Reads are idempotent, so a context-expired read is always safe to retry.
+func (c *Coordinator) ReadCtx(ctx context.Context, key string) (value []byte, version timestamp.Timestamp, ok bool, err error) {
 	p := c.cfg.Topo.PartitionForKey(key)
 	c.readSeq++
 	seq := c.readSeq
@@ -214,6 +289,13 @@ func (c *Coordinator) Read(key string) (value []byte, version timestamp.Timestam
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			c.obs.Inc(obs.ReadRetry)
+			// The coordinator is single-goroutine, so reads may draw their
+			// backoff jitter from the shared rng.
+			sleep(ctx, backoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt-1, &c.rng), &c.rt)
+		}
+		budget, berr := c.waitBudget(ctx)
+		if berr != nil {
+			return nil, timestamp.Timestamp{}, false, berr
 		}
 		// Load-balance GETs across replicas and cores, as in §6.2.
 		r := c.rng.Intn(c.cfg.Topo.Replicas)
@@ -223,7 +305,7 @@ func (c *Coordinator) Read(key string) (value []byte, version timestamp.Timestam
 		if err != nil {
 			return nil, timestamp.Timestamp{}, false, err
 		}
-		deadline := c.rt.arm(c.cfg.Timeout)
+		deadline := c.rt.arm(budget)
 		for {
 			select {
 			case m := <-c.readInbox.C:
@@ -231,6 +313,7 @@ func (c *Coordinator) Read(key string) (value []byte, version timestamp.Timestam
 					continue // stale reply
 				}
 				return m.Value, m.TS, m.OK, nil
+			case <-ctx.Done():
 			case <-deadline:
 			}
 			break
@@ -265,6 +348,14 @@ func (c *Coordinator) sendMultiRead(p int, keys []string, seq uint64) error {
 // The returned slice is a scratch reused by the next ReadMany call on this
 // coordinator; callers that need the results past that must copy them out.
 func (c *Coordinator) ReadMany(keys []string) ([]message.ReadResult, error) {
+	return c.ReadManyCtx(context.Background(), keys)
+}
+
+// ReadManyCtx is ReadMany under a context: per-attempt waits shrink to the
+// context's remaining time and cancellation ends the per-partition retry
+// loops early. Like single reads, batched reads are idempotent and safe to
+// retry after a context-expired attempt.
+func (c *Coordinator) ReadManyCtx(ctx context.Context, keys []string) ([]message.ReadResult, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
@@ -340,11 +431,18 @@ func (c *Coordinator) ReadMany(keys []string) ([]message.ReadResult, error) {
 		for attempt := 0; attempt <= c.cfg.Retries && !got; attempt++ {
 			if attempt > 0 {
 				c.obs.Inc(obs.ReadMultiRetry)
+				sleep(ctx, backoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt-1, &c.rng), &c.rt)
+			}
+			budget, berr := c.waitBudget(ctx)
+			if berr != nil {
+				return nil, berr
+			}
+			if attempt > 0 {
 				if err := c.sendMultiRead(p, grouped[off[p]:off[p+1]], seq); err != nil {
 					return nil, err
 				}
 			}
-			deadline := c.rt.arm(c.cfg.Timeout)
+			deadline := c.rt.arm(budget)
 		wait:
 			for {
 				// Fast path: a reply that is already queued (the replica ran
@@ -356,6 +454,8 @@ func (c *Coordinator) ReadMany(keys []string) ([]message.ReadResult, error) {
 				default:
 					select {
 					case m = <-in.C:
+					case <-ctx.Done():
+						break wait
 					case <-deadline:
 						break wait
 					}
@@ -393,6 +493,13 @@ type Txn struct {
 	// committedAt is the serialization timestamp, set once Commit decides.
 	committedAt timestamp.Timestamp
 	id          timestamp.TxnID
+
+	// coreID and unresolved record where a timed-out commit was in flight —
+	// the processing core and the touched partitions — so Resolve can drive
+	// the recovery procedure for exactly those (partition, core) groups.
+	// unresolved is non-empty only after Commit returned ErrTimeout.
+	coreID     uint32
+	unresolved []int
 }
 
 // Begin starts a new transaction.
@@ -424,13 +531,18 @@ func (t *Txn) findRead(key string) int {
 // buffered write if the transaction wrote the key, the previously read value
 // if it already read it, or a fresh versioned read from a replica.
 func (t *Txn) Read(key string) ([]byte, error) {
+	return t.ReadCtx(context.Background(), key)
+}
+
+// ReadCtx is Read under a context (see Coordinator.ReadCtx).
+func (t *Txn) ReadCtx(ctx context.Context, key string) ([]byte, error) {
 	if i := t.findWrite(key); i >= 0 {
 		return t.writes[i].Value, nil
 	}
 	if i := t.findRead(key); i >= 0 {
 		return t.readVals[i], nil
 	}
-	val, ver, _, err := t.c.Read(key)
+	val, ver, _, err := t.c.ReadCtx(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -447,6 +559,11 @@ func (t *Txn) Read(key string) ([]byte, error) {
 // Read would: each key is fetched at most once and lands in the read set at
 // most once.
 func (t *Txn) ReadMany(keys []string) ([][]byte, error) {
+	return t.ReadManyCtx(context.Background(), keys)
+}
+
+// ReadManyCtx is ReadMany under a context (see Coordinator.ReadManyCtx).
+func (t *Txn) ReadManyCtx(ctx context.Context, keys []string) ([][]byte, error) {
 	vals := make([][]byte, len(keys))
 	fetch := make([]string, 0, len(keys))
 	for _, key := range keys {
@@ -465,7 +582,7 @@ func (t *Txn) ReadMany(keys []string) ([][]byte, error) {
 		}
 	}
 	if len(fetch) > 0 {
-		res, err := t.c.ReadMany(fetch)
+		res, err := t.c.ReadManyCtx(ctx, fetch)
 		if err != nil {
 			return nil, err
 		}
@@ -510,9 +627,100 @@ func (t *Txn) WriteSetSize() int { return len(t.writes) }
 
 // Commit runs the validation and write phases. It returns true if the
 // transaction committed, false if it aborted due to conflicts, and an error
-// if the outcome could not be determined within the retry budget.
+// if the outcome could not be determined within the retry budget. The error
+// always unwraps to ErrTimeout; Resolve can then learn the final outcome.
 func (t *Txn) Commit() (bool, error) {
-	return t.c.commit(t)
+	return t.c.commit(context.Background(), t)
+}
+
+// CommitCtx is Commit under a context: the context's deadline maps onto the
+// commit protocol's per-attempt waits, and cancellation ends the retry loops
+// early. A context-expired commit is outcome-unknown exactly like a
+// retry-budget timeout — the returned error unwraps to both ErrTimeout and
+// the context's error, and Resolve applies.
+func (t *Txn) CommitCtx(ctx context.Context) (bool, error) {
+	return t.c.commit(ctx, t)
+}
+
+// Resolve learns — or, if still undecided, forces — the final outcome of a
+// transaction whose Commit returned ErrTimeout, by driving the
+// cooperative-termination recovery procedure (§5.3.2) in every partition the
+// commit touched. It returns whether the transaction committed. Without
+// this, a client that timed out can never tell whether its writes landed;
+// with it, a history survives fault injection with no maybe-committed holes.
+//
+// Each touched partition is driven to its recorded decision and the results
+// are conjoined, mirroring how commit itself combines per-partition
+// verdicts. The coordinator's single-goroutine contract applies: Resolve
+// reuses the commit endpoints.
+func (t *Txn) Resolve() (bool, error) {
+	if len(t.unresolved) == 0 {
+		return false, errors.New("coordinator: nothing to resolve (commit did not time out)")
+	}
+	committed := true
+	for _, p := range t.unresolved {
+		ok, err := t.c.RecoverTxn(p, t.id, t.coreID, 0)
+		if err != nil {
+			return false, err
+		}
+		committed = committed && ok
+	}
+	t.unresolved = t.unresolved[:0]
+	if committed {
+		t.c.obs.Inc(obs.TxnResolveCommit)
+	} else {
+		t.c.obs.Inc(obs.TxnResolveAbort)
+	}
+	return committed, nil
+}
+
+// Run executes fn inside transactions until one commits: the canonical
+// retry loop. Conflict aborts retry after the capped, jittered backoff;
+// read timeouts inside fn retry the same way (reads are idempotent); a
+// commit timeout is resolved through the recovery procedure, so Run never
+// reports success or failure while the outcome is actually unknown. Run
+// returns nil once a transaction commits, the context's error (wrapped in
+// ErrTimeout) once ctx expires, and fn's own error — aborting the loop — for
+// anything else. fn may be called many times and must be safe to re-execute;
+// it should build the transaction and return, leaving Commit to Run.
+func (c *Coordinator) Run(ctx context.Context, fn func(*Txn) error) error {
+	// Run executes on the coordinator's own goroutine, so the shared rng is
+	// safe for its backoff jitter.
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			sleep(ctx, backoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt-1, &c.rng), &c.rt)
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrTimeout, err)
+		}
+		t := c.Begin()
+		if err := fn(t); err != nil {
+			if errors.Is(err, ErrTimeout) && ctx.Err() == nil {
+				continue // a timed-out read is safe to retry
+			}
+			return err
+		}
+		ok, err := t.CommitCtx(ctx)
+		if err != nil {
+			if !errors.Is(err, ErrTimeout) || ctx.Err() != nil {
+				return err
+			}
+			// Outcome unknown: resolve it rather than guess. A resolve
+			// failure keeps the uncertainty, so surface the original error.
+			committed, rerr := t.Resolve()
+			if rerr != nil {
+				return err
+			}
+			if committed {
+				return nil
+			}
+			continue // resolved to abort: retry
+		}
+		if ok {
+			return nil
+		}
+		// Conflict abort: back off and retry.
+	}
 }
 
 // Timestamp returns the transaction's serialization timestamp (valid after
@@ -598,7 +806,7 @@ func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
 // transactions per §5.2.4: the validation phase runs in every partition the
 // transaction touched, and the transaction commits only if every partition
 // validates it.
-func (c *Coordinator) commit(t *Txn) (bool, error) {
+func (c *Coordinator) commit(ctx context.Context, t *Txn) (bool, error) {
 	start := time.Now()
 	// Step 1: pick the processing core, the proposed timestamp, and the
 	// transaction id. The timestamp comes from the client's loosely
@@ -608,6 +816,8 @@ func (c *Coordinator) commit(t *Txn) (bool, error) {
 	tid := c.gen.NextID()
 	t.committedAt = ts
 	t.id = tid
+	t.coreID = coreID
+	t.unresolved = t.unresolved[:0]
 
 	parts := c.split(t, tid)
 	if len(parts) == 0 {
@@ -624,13 +834,13 @@ func (c *Coordinator) commit(t *Txn) (bool, error) {
 	}
 	results := c.resultsBuf[:len(parts)]
 	if len(parts) == 1 {
-		ok, slow, err := c.validatePhase(parts[0].p, &parts[0].txn, ts, coreID, &c.pt)
+		ok, slow, err := c.validatePhase(ctx, parts[0].p, &parts[0].txn, ts, coreID, &c.pt)
 		results[0] = partResult{commit: ok, slow: slow, err: err}
 	} else {
 		for i := range parts {
 			go func(i int) {
 				var pt phaseTimers
-				ok, slow, err := c.validatePhase(parts[i].p, &parts[i].txn, ts, coreID, &pt)
+				ok, slow, err := c.validatePhase(ctx, parts[i].p, &parts[i].txn, ts, coreID, &pt)
 				results[i] = partResult{commit: ok, slow: slow, err: err}
 				c.done <- i
 			}(i)
@@ -650,6 +860,11 @@ func (c *Coordinator) commit(t *Txn) (bool, error) {
 		if r.err != nil {
 			if errors.Is(r.err, ErrTimeout) {
 				c.obs.Inc(obs.TxnAbortTimeout)
+				// Outcome unknown: remember which (partition, core) groups
+				// the protocol ran in, so Resolve can finish the job.
+				for i := range parts {
+					t.unresolved = append(t.unresolved, parts[i].p)
+				}
 			}
 			return false, r.err
 		}
@@ -699,7 +914,7 @@ func (c *Coordinator) commit(t *Txn) (bool, error) {
 // fast-path supermajority. pt supplies the phase's timers, reused across
 // retry attempts (and, for inline single-partition commits, across
 // transactions).
-func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32, pt *phaseTimers) (commit, slow bool, err error) {
+func (c *Coordinator) validatePhase(ctx context.Context, p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32, pt *phaseTimers) (commit, slow bool, err error) {
 	ep, in := c.commitEps[p], c.commitIns[p]
 	in.Drain()
 	group := c.group(p, coreID)
@@ -707,11 +922,20 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 	fast := c.cfg.Topo.FastQuorum()
 	majority := c.cfg.Topo.Majority()
 
+	// Backoff jitter draws come from a phase-local stream, never the shared
+	// c.rng: multi-partition commits run one validatePhase per goroutine.
+	jrng := transport.SeedSplitMix64(uint64(c.cfg.Seed) ^ txn.ID.Seq<<8 ^ uint64(p))
+
 	req := message.Message{Type: message.TypeValidate, Txn: *txn, TID: txn.ID, TS: ts, CoreID: coreID}
 
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			c.obs.Inc(obs.TxnRetry)
+			sleep(ctx, backoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt-1, &jrng), &pt.grace)
+		}
+		budget, berr := c.waitBudget(ctx)
+		if berr != nil {
+			return false, false, berr
 		}
 		for _, dst := range group {
 			m := req // copy per destination: Send stamps Src
@@ -728,7 +952,7 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 		var seen uint64 // bit i set <=> replica i replied
 		replied := 0
 		countOK, countAbort := 0, 0
-		deadline := pt.deadline.arm(c.cfg.Timeout)
+		deadline := pt.deadline.arm(budget)
 		var grace <-chan time.Time
 	collect:
 		for {
@@ -744,6 +968,8 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 				case <-grace:
 					break collect
 				case m = <-in.C:
+				case <-ctx.Done():
+					break collect
 				case <-deadline:
 					break collect
 				}
@@ -794,7 +1020,7 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 			if countOK >= majority {
 				proposal = message.StatusAcceptCommit
 			}
-			commit, err = c.slowPath(p, txn, ts, coreID, proposal, 0, pt)
+			commit, err = c.slowPath(ctx, p, txn, ts, coreID, proposal, 0, pt, &jrng)
 			return commit, true, err
 		}
 	}
@@ -806,7 +1032,7 @@ func (c *Coordinator) validatePhase(p int, txn *message.Txn, ts timestamp.Timest
 // proposal is superseded by a higher view (a backup coordinator took over),
 // the coordinator escalates to the recovery procedure to learn the final
 // outcome.
-func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32, proposal message.Status, view uint64, pt *phaseTimers) (bool, error) {
+func (c *Coordinator) slowPath(ctx context.Context, p int, txn *message.Txn, ts timestamp.Timestamp, coreID uint32, proposal message.Status, view uint64, pt *phaseTimers, jrng *transport.SplitMix64) (bool, error) {
 	ep, in := c.commitEps[p], c.commitIns[p]
 	group := c.group(p, coreID)
 	majority := c.cfg.Topo.Majority()
@@ -819,6 +1045,11 @@ func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, 
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			c.obs.Inc(obs.TxnRetry)
+			sleep(ctx, backoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt-1, jrng), &pt.grace)
+		}
+		budget, berr := c.waitBudget(ctx)
+		if berr != nil {
+			return false, berr
 		}
 		for _, dst := range group {
 			m := req // copy per destination: Send stamps Src
@@ -827,7 +1058,7 @@ func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, 
 		var acked uint64 // bitmask, as in validatePhase
 		acks := 0
 		superseded := uint64(0)
-		deadline := pt.deadline.arm(c.cfg.Timeout)
+		deadline := pt.deadline.arm(budget)
 	collect:
 		for {
 			var m *message.Message
@@ -836,6 +1067,8 @@ func (c *Coordinator) slowPath(p int, txn *message.Txn, ts timestamp.Timestamp, 
 			default:
 				select {
 				case m = <-in.C:
+				case <-ctx.Done():
+					break collect
 				case <-deadline:
 					break collect
 				}

@@ -1,0 +1,18 @@
+package faultnet
+
+import "meerkat/internal/obs"
+
+// RegisterObs exposes the injector's fault counters as scrape-time gauges on
+// r, so a run under injected faults shows its drop/dup/delay/reorder volume
+// and event progress next to the protocol's own lifecycle counters. Gauge
+// closures read the atomic counters only at snapshot time; nothing is added
+// to the send path.
+func (n *Network) RegisterObs(r *obs.Registry) {
+	r.RegisterGauge("faultnet_sent", n.stats.Sent.Load)
+	r.RegisterGauge("faultnet_dropped", n.stats.Dropped.Load)
+	r.RegisterGauge("faultnet_blackholed", n.stats.Blackhole.Load)
+	r.RegisterGauge("faultnet_duplicated", n.stats.Duplicated.Load)
+	r.RegisterGauge("faultnet_delayed", n.stats.Delayed.Load)
+	r.RegisterGauge("faultnet_reordered", n.stats.Reordered.Load)
+	r.RegisterGauge("faultnet_events_fired", n.stats.EventsFired.Load)
+}

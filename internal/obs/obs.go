@@ -61,6 +61,12 @@ const (
 	// round's first attempt.
 	ReadMultiRound
 	ReadMultiRetry
+	// TxnResolveCommit/TxnResolveAbort count unknown-outcome transactions
+	// (Commit returned ErrTimeout) whose final outcome the client then
+	// learned — or forced — by driving the cooperative-termination recovery
+	// procedure itself (Txn.Resolve).
+	TxnResolveCommit
+	TxnResolveAbort
 
 	// Replica-side per-core counters (one per message handled).
 	ValidateOK       // validations that passed the OCC checks
@@ -95,6 +101,8 @@ var counterNames = [NumCounters]string{
 	ReadRetry:           "read_retry",
 	ReadMultiRound:      "read_multi_round",
 	ReadMultiRetry:      "read_multi_retry",
+	TxnResolveCommit:    "txn_resolve_commit",
+	TxnResolveAbort:     "txn_resolve_abort",
 	ValidateOK:          "replica_validate_ok",
 	ValidateAbort:       "replica_validate_abort",
 	AcceptAcked:         "replica_accept_acked",

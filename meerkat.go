@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"meerkat/internal/clock"
+	"meerkat/internal/faultnet"
 	"meerkat/internal/obs"
 	"meerkat/internal/recovery"
 	"meerkat/internal/replica"
@@ -94,6 +95,22 @@ type Config struct {
 	CommitTimeout time.Duration
 	Retries       int
 
+	// BackoffBase and BackoffMax bound the capped exponential backoff with
+	// full jitter that clients insert before protocol resends and between
+	// Client.Run attempts: attempt k waits a uniform duration in
+	// (0, min(BackoffBase<<k, BackoffMax)]. Defaults: 500µs, 50ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Faults, when non-nil, wraps the cluster's transport in the
+	// deterministic fault-injection layer (internal/faultnet) running this
+	// schedule: per-link drop/delay/reorder/duplicate rules, partitions,
+	// and crash/restart black-holes triggered at global message counts.
+	// Crash/restart events black-hole the node's traffic; pair them with
+	// Cluster.FaultEvents to also stop and recover the real replica. The
+	// plan must pass its Validate; NewCluster rejects the config otherwise.
+	Faults *faultnet.Plan
+
 	// SweepInterval enables replica-side coordinator-failure detection:
 	// stalled transactions older than StaleAfter are finished by a backup
 	// coordinator. Zero disables.
@@ -119,7 +136,27 @@ type Config struct {
 	Obs *obs.Registry
 }
 
-func (c *Config) fill() error {
+// Validate checks the configuration and normalizes it in place, applying the
+// documented defaults to zero-valued fields:
+//
+//	Replicas 3 (must be odd), Cores 4, Partitions 1,
+//	Transport inproc (UDPHost 127.0.0.1, UDPBasePort 29000 when UDP),
+//	CommitTimeout 100ms, Retries 10, BackoffBase 500µs, BackoffMax 50ms.
+//
+// It rejects negative knobs, even replica counts, out-of-range fault
+// probabilities, and malformed fault plans. NewCluster calls it, so explicit
+// calls are needed only to validate a config without starting a cluster.
+func (c *Config) Validate() error {
+	if c.Replicas < 0 || c.Cores < 0 || c.Partitions < 0 || c.Retries < 0 {
+		return fmt.Errorf("meerkat: negative size in config %+v", *c)
+	}
+	if c.CommitTimeout < 0 || c.BackoffBase < 0 || c.BackoffMax < 0 ||
+		c.SweepInterval < 0 || c.StaleAfter < 0 || c.Delay < 0 {
+		return errors.New("meerkat: negative duration in config")
+	}
+	if c.DropProb < 0 || c.DropProb > 1 {
+		return fmt.Errorf("meerkat: DropProb %v out of [0,1]", c.DropProb)
+	}
 	if c.Replicas == 0 {
 		c.Replicas = 3
 	}
@@ -144,8 +181,22 @@ func (c *Config) fill() error {
 	if c.Retries == 0 {
 		c.Retries = 10
 	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 500 * time.Microsecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 50 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffBase {
+		return fmt.Errorf("meerkat: BackoffMax %v below BackoffBase %v", c.BackoffMax, c.BackoffBase)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
+
+func (c *Config) fill() error { return c.Validate() }
 
 // Cluster is a running Meerkat deployment: Partitions replica groups of
 // Replicas nodes each, plus the transport fabric connecting them to clients.
@@ -154,6 +205,7 @@ type Cluster struct {
 	topo topo.Topology
 	net  transport.Network
 	inet *transport.Inproc // non-nil iff inproc transport
+	fnet *faultnet.Network // non-nil iff cfg.Faults was set
 
 	obs    *obs.Registry // never nil after NewCluster
 	recObs *obs.Shard    // epoch-change recorder
@@ -207,6 +259,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		n.RegisterObs(c.obs)
 	case *transport.UDP:
 		n.RegisterObs(c.obs)
+	}
+	if cfg.Faults != nil {
+		// The injector wraps the fabric: every send — replica and client
+		// alike — passes through the fault schedule. Validate() already
+		// vetted the plan, so Wrap cannot panic here.
+		c.fnet = faultnet.Wrap(c.net, cfg.Faults)
+		c.fnet.RegisterObs(c.obs)
+		c.net = c.fnet
 	}
 	// Storage gauges sum over all live replica stores (each replica holds a
 	// full copy, so totals scale with the replication factor by design).
@@ -414,3 +474,37 @@ func (c *Cluster) clientClock(id uint64) clock.Clock {
 // nodeOf maps (partition, replica index) to the transport node id, for
 // tests that inject faults.
 func (c *Cluster) nodeOf(p, r int) uint32 { return c.topo.ReplicaNode(p, r) }
+
+// NodeOf maps (partition, replica index) to the transport node id — the id
+// space fault plans (Config.Faults) address crashes, partitions, and link
+// rules in.
+func (c *Cluster) NodeOf(p, r int) uint32 { return c.nodeOf(p, r) }
+
+// ReplicaOf inverts NodeOf: the (partition, replica index) behind a
+// transport node id, for harnesses mapping fault events onto replica
+// lifecycle calls. ok is false for ids that are not replica nodes.
+func (c *Cluster) ReplicaOf(node uint32) (p, r int, ok bool) {
+	for p = 0; p < c.cfg.Partitions; p++ {
+		for r = 0; r < c.cfg.Replicas; r++ {
+			if c.topo.ReplicaNode(p, r) == node {
+				return p, r, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// FaultNetwork returns the fault-injection layer, or nil when the cluster
+// runs without one (Config.Faults == nil).
+func (c *Cluster) FaultNetwork() *faultnet.Network { return c.fnet }
+
+// FaultEvents returns the channel carrying fired fault events, in firing
+// order, or nil without a fault plan. A chaos harness consumes it to mirror
+// OpCrash/OpRestart black-holes onto the real replica lifecycle
+// (CrashReplica / RecoverReplica).
+func (c *Cluster) FaultEvents() <-chan faultnet.Event {
+	if c.fnet == nil {
+		return nil
+	}
+	return c.fnet.Events()
+}
