@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json chaos check
+.PHONY: build test race vet bench bench-json bench-udp chaos check
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,11 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkCommitSinglePartition|BenchmarkTxnTimeline10|BenchmarkEncodeDecode' -benchmem . ./internal/message \
 		| $(GO) run ./cmd/bench2json > BENCH_pr3.json
 	@cat BENCH_pr3.json
+
+# Wire-level transport comparison over real loopback UDP: batched
+# sendmmsg/recvmmsg + pipelined sessions vs the per-datagram baseline vs
+# inproc, reporting goodput and socket syscalls per committed transaction.
+# Override MEASURE for quicker smoke runs (CI uses 300ms).
+MEASURE ?= 2s
+bench-udp:
+	$(GO) run ./cmd/meerkat-bench -exp udp -measure $(MEASURE) -json BENCH_pr6.json

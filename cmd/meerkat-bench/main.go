@@ -35,8 +35,12 @@ import (
 )
 
 var (
-	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|calibrate|all")
+	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|udp|calibrate|all (udp binds real loopback sockets, so it runs only when asked for explicitly)")
 	faults      = flag.Bool("faults", false, "run the kill-one-replica fault-injection timeline (same as -exp faults)")
+	transportF  = flag.String("transport", "", "\"udp\" runs the wire-level transport comparison (same as -exp udp): batched sendmmsg/recvmmsg + pipelined sessions vs the per-datagram baseline vs inproc")
+	window      = flag.Int("window", 16, "udp experiment: in-flight transactions per pipelined session")
+	flushDelay  = flag.Duration("flush-delay", 20*time.Microsecond, "udp experiment: hold buffered datagrams up to this long to share a sendmmsg")
+	udpPort     = flag.Int("udp-port", 27000, "udp experiment: base port of the throwaway port maps")
 	measure     = flag.Duration("measure", 500*time.Millisecond, "measured window per real data point")
 	keys        = flag.Int("keys", 65536, "pre-loaded keys for real runs")
 	threadsCSV  = flag.String("threads", "2,4,8,16,32,48,64,80", "simulated thread counts")
@@ -216,6 +220,18 @@ func main() {
 				return err
 			})
 		}
+	}
+	if *exp == "udp" || *transportF == "udp" {
+		run("UDP wire cost (measured: syscalls/txn, batched vs per-datagram)", func() error {
+			pts, err := bench.UDPSweep(out, bench.UDPOptions{
+				Options:    opts,
+				Window:     *window,
+				FlushDelay: *flushDelay,
+				BasePort:   *udpPort,
+			})
+			report.Add("udp", pts)
+			return err
+		})
 	}
 	if want("faults") || *faults {
 		run("Kill-one-replica timeline (measured, fault injection)", func() error {

@@ -16,6 +16,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"meerkat/internal/clock"
@@ -38,6 +40,7 @@ func main() {
 		value      = flag.String("value", "", "value (put)")
 		duration   = flag.Duration("duration", 3*time.Second, "bench duration")
 		benchKeys  = flag.Int("bench-keys", 1024, "bench keyspace (pre-load with meerkat-server -keys)")
+		pipeline   = flag.Int("pipeline", 1, "bench: transactions kept in flight over one socket set (pipelined session workers)")
 	)
 	flag.Parse()
 
@@ -49,18 +52,37 @@ func main() {
 	net := transport.NewUDP(*host, *port, coresPerNode)
 	defer net.Close()
 
-	coord, err := coordinator.New(coordinator.Config{
+	ccfg := coordinator.Config{
 		Topo:     t,
-		ClientID: *clientID,
+		ClientID: *clientID % (1 << 32), // keep the session worker-demux bits clear
 		Net:      net,
 		Clock:    clock.NewReal(),
 		Timeout:  200 * time.Millisecond,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
-	defer coord.Close()
+	// A pipelined bench multiplexes *pipeline workers over one socket set;
+	// everything else drives a single stop-and-wait coordinator. Both paths
+	// bind the same client address, so they are built mutually exclusively.
+	var workers []*coordinator.Coordinator
+	if *op == "bench" && *pipeline > 1 {
+		sess, err := coordinator.NewSession(ccfg, *pipeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer sess.Close()
+		for i := 0; i < sess.Window(); i++ {
+			workers = append(workers, sess.Worker(i))
+		}
+	} else {
+		c, err := coordinator.New(ccfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		workers = []*coordinator.Coordinator{c}
+	}
+	coord := workers[0]
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
@@ -123,38 +145,49 @@ func main() {
 		fmt.Printf("%s = %d\n", *key, n+1)
 
 	case "bench":
-		gen := workload.NewYCSBT(workload.NewUniform(*benchKeys))
-		rng := newRng(*clientID)
+		// One goroutine per pipelined worker; with -pipeline 1 this is the
+		// original single closed loop. All workers share the socket set, so
+		// their concurrent round trips batch into shared sendmmsg calls.
 		val := workload.Value(64)
-		var committed, aborted uint64
+		var committed, aborted atomic.Uint64
 		deadline := time.Now().Add(*duration)
-		for time.Now().Before(deadline) {
-			spec := gen.Next(rng)
-			txn := coord.Begin()
-			bad := false
-			for _, k := range spec.RMWs {
-				if _, err := txn.Read(k); err != nil {
-					bad = true
-					break
+		var wg sync.WaitGroup
+		for i, w := range workers {
+			wg.Add(1)
+			go func(i int, w *coordinator.Coordinator) {
+				defer wg.Done()
+				gen := workload.NewYCSBT(workload.NewUniform(*benchKeys))
+				rng := newRng(*clientID + uint64(i)*0x9e3779b9)
+				for time.Now().Before(deadline) {
+					spec := gen.Next(rng)
+					txn := w.Begin()
+					bad := false
+					for _, k := range spec.RMWs {
+						if _, err := txn.Read(k); err != nil {
+							bad = true
+							break
+						}
+						txn.Write(k, val)
+					}
+					if bad {
+						continue
+					}
+					ok, err := txn.Commit()
+					switch {
+					case err != nil:
+					case ok:
+						committed.Add(1)
+					default:
+						aborted.Add(1)
+					}
 				}
-				txn.Write(k, val)
-			}
-			if bad {
-				continue
-			}
-			ok, err := txn.Commit()
-			switch {
-			case err != nil:
-			case ok:
-				committed++
-			default:
-				aborted++
-			}
+			}(i, w)
 		}
+		wg.Wait()
 		secs := duration.Seconds()
-		fmt.Printf("committed %d (%.0f txns/sec), aborted %d (%.1f%%)\n",
-			committed, float64(committed)/secs, aborted,
-			100*float64(aborted)/float64(committed+aborted+1))
+		c, a := committed.Load(), aborted.Load()
+		fmt.Printf("committed %d (%.0f txns/sec), aborted %d (%.1f%%), pipeline %d\n",
+			c, float64(c)/secs, a, 100*float64(a)/float64(c+a+1), len(workers))
 
 	default:
 		fail(fmt.Errorf("unknown op %q", *op))

@@ -28,6 +28,13 @@ var (
 	// ErrClusterClosed means the cluster (or this client's endpoints) has
 	// been shut down; no retry can succeed.
 	ErrClusterClosed = errors.New("meerkat: cluster closed")
+
+	// ErrPortMap means a TransportUDP configuration cannot fit the UDP
+	// port map: node-id slot ranges collide (e.g. too many
+	// partition×replica nodes reaching into the recovery-coordinator
+	// slots) or the highest address overflows the 16-bit port space.
+	// Returned by Config.Validate / NewCluster before any socket binds.
+	ErrPortMap = errors.New("meerkat: UDP port map invalid")
 )
 
 // mapErr translates internal protocol errors into the public sentinels.

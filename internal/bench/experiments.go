@@ -55,6 +55,13 @@ type Point struct {
 	P99       time.Duration
 	P999      time.Duration
 	Path      PathStats // coordination-path breakdown of the window
+
+	// Wire-level cost, set by the UDP transport experiment only: socket
+	// syscalls per committed transaction and datagrams moved per send
+	// syscall (the batching the transport amortizes; 1.0 means no
+	// amortization).
+	SyscallsPerTxn      float64
+	DatagramsPerSyscall float64
 }
 
 // genFactory builds per-client generator factories for a workload/theta.

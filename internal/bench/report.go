@@ -25,6 +25,10 @@ type JSONPoint struct {
 	AcceptAborts     uint64  `json:"accept_aborts"`
 	TimeoutAborts    uint64  `json:"timeout_aborts"`
 	Retries          uint64  `json:"retries"`
+
+	// Wire-level cost, present only for the UDP transport experiment.
+	SyscallsPerTxn      float64 `json:"syscalls_per_txn,omitempty"`
+	DatagramsPerSyscall float64 `json:"datagrams_per_syscall,omitempty"`
 }
 
 // JSONReport is the top-level structure WriteJSON emits: every experiment's
@@ -80,6 +84,9 @@ func (r *Report) WriteJSON(path string) error {
 				AcceptAborts:     p.Path.AcceptAborts,
 				TimeoutAborts:    p.Path.TimeoutAborts,
 				Retries:          p.Path.Retries,
+
+				SyscallsPerTxn:      p.SyscallsPerTxn,
+				DatagramsPerSyscall: p.DatagramsPerSyscall,
 			}
 		}
 		out.Experiments[name] = pts

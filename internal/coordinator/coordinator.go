@@ -105,12 +105,30 @@ func (rt *rtimer) arm(d time.Duration) <-chan time.Time {
 }
 
 // phaseTimers bundles the two waits of one partition's validate phase (the
-// full-quorum deadline and the straggler grace window). The zero value is
-// ready: each concurrent per-partition goroutine owns its own, while
-// single-partition commits reuse the coordinator's across transactions.
+// full-quorum deadline and the straggler grace window) plus the phase's
+// broadcast scratch. The zero value is ready: each concurrent per-partition
+// goroutine owns its own, while single-partition commits reuse the
+// coordinator's across transactions.
 type phaseTimers struct {
 	deadline rtimer
 	grace    rtimer
+	outs     []transport.Outgoing // broadcast headers, reused across attempts
+}
+
+// broadcast hands one copy of req per destination in group to ep as a single
+// batch — one syscall on the real wire instead of one per replica. Every
+// destination gets a freshly allocated copy (the transport owns a message
+// once handed over, and stamps Src per send), while the Outgoing headers
+// live in the caller's scratch, which is returned for reuse.
+func broadcast(ep transport.Endpoint, group []message.Addr, req *message.Message, scratch []transport.Outgoing) []transport.Outgoing {
+	outs := scratch[:0]
+	for _, dst := range group {
+		m := new(message.Message)
+		*m = *req
+		outs = append(outs, transport.Outgoing{Dst: dst, M: m})
+	}
+	ep.SendBatch(outs)
+	return outs
 }
 
 // backoffDelay computes the capped exponential backoff before retry k
@@ -186,6 +204,10 @@ type Coordinator struct {
 	readSeq uint64
 	obs     *obs.Shard // nil-safe lifecycle recorder (see Config.Obs)
 
+	// shared is true for Session workers: the endpoints belong to the
+	// session, so Close leaves them alone.
+	shared bool
+
 	// Per-coordinator scratch, reused across operations (the coordinator is
 	// single-goroutine by contract). None of it is ever placed into a sent
 	// message: the transport may deliver a message after the send times out
@@ -213,12 +235,10 @@ func (c *Coordinator) group(p int, core uint32) []message.Addr {
 	return c.groups[p*c.cfg.Topo.Cores+int(core)]
 }
 
-// New binds a coordinator's endpoints on cfg.Net.
-func New(cfg Config) (*Coordinator, error) {
-	cfg.fill()
-	if !cfg.Topo.Validate() {
-		return nil, fmt.Errorf("coordinator: invalid topology %+v", cfg.Topo)
-	}
+// newCore builds a coordinator without binding any endpoints; New installs
+// its own, Session workers share the session's. cfg must already be filled
+// and its topology validated.
+func newCore(cfg Config) *Coordinator {
 	c := &Coordinator{
 		cfg:  cfg,
 		gen:  timestamp.NewGenerator(cfg.ClientID, cfg.Clock.Now),
@@ -232,13 +252,28 @@ func New(cfg Config) (*Coordinator, error) {
 			c.groups[p*cfg.Topo.Cores+core] = cfg.Topo.GroupAddrs(p, uint32(core))
 		}
 	}
-	// Inboxes hold one operation's replies plus stragglers from retried
-	// earlier attempts, so size them to the replica group with generous
-	// headroom rather than a flat constant.
-	depth := 8 * cfg.Topo.Replicas
+	return c
+}
+
+// inboxDepth sizes reply inboxes: one operation's replies plus stragglers
+// from retried earlier attempts, so size to the replica group with generous
+// headroom rather than a flat constant.
+func inboxDepth(t topo.Topology) int {
+	depth := 8 * t.Replicas
 	if depth < 256 {
 		depth = 256
 	}
+	return depth
+}
+
+// New binds a coordinator's endpoints on cfg.Net.
+func New(cfg Config) (*Coordinator, error) {
+	cfg.fill()
+	if !cfg.Topo.Validate() {
+		return nil, fmt.Errorf("coordinator: invalid topology %+v", cfg.Topo)
+	}
+	c := newCore(cfg)
+	depth := inboxDepth(cfg.Topo)
 	base := cfg.Topo.ClientAddr(cfg.ClientID)
 	c.readInbox = transport.NewInbox(depth)
 	ep, err := cfg.Net.Listen(base, c.readInbox.Handle)
@@ -259,8 +294,12 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// Close releases the coordinator's endpoints.
+// Close releases the coordinator's endpoints. Session workers share the
+// session's endpoints and leave closing them to Session.Close.
 func (c *Coordinator) Close() {
+	if c.shared {
+		return
+	}
 	if c.readEp != nil {
 		c.readEp.Close()
 	}
@@ -882,13 +921,15 @@ func (c *Coordinator) commit(ctx context.Context, t *Txn) (bool, error) {
 	if !committed {
 		st = message.StatusAborted
 	}
+	outcome := message.Message{Type: message.TypeCommit, TID: tid, Status: st, CoreID: coreID}
 	for i := range parts {
-		ep := c.commitEps[parts[i].p]
-		for _, dst := range c.group(parts[i].p, coreID) {
-			// One message per destination: the transport stamps Src on
-			// send, so messages must not be shared across Sends.
-			ep.Send(dst, &message.Message{Type: message.TypeCommit, TID: tid, Status: st, CoreID: coreID})
-		}
+		// One batch per partition endpoint: the whole replica group's
+		// commit notifications leave in one syscall on the real wire (each
+		// destination still gets its own freshly allocated copy — the
+		// transport stamps Src on send, so messages must not be shared).
+		// The fan-in above already happened, so c.pt's scratch is free even
+		// for multi-partition commits.
+		c.pt.outs = broadcast(c.commitEps[parts[i].p], c.group(parts[i].p, coreID), &outcome, c.pt.outs)
 	}
 
 	switch {
@@ -937,10 +978,7 @@ func (c *Coordinator) validatePhase(ctx context.Context, p int, txn *message.Txn
 		if berr != nil {
 			return false, false, berr
 		}
-		for _, dst := range group {
-			m := req // copy per destination: Send stamps Src
-			ep.Send(dst, &m)
-		}
+		pt.outs = broadcast(ep, group, &req, pt.outs)
 
 		// Step 3: collect validate-replies, watching for the fast-path
 		// supermajority of matching responses. Once a majority is in, give
@@ -1051,10 +1089,7 @@ func (c *Coordinator) slowPath(ctx context.Context, p int, txn *message.Txn, ts 
 		if berr != nil {
 			return false, berr
 		}
-		for _, dst := range group {
-			m := req // copy per destination: Send stamps Src
-			ep.Send(dst, &m)
-		}
+		pt.outs = broadcast(ep, group, &req, pt.outs)
 		var acked uint64 // bitmask, as in validatePhase
 		acks := 0
 		superseded := uint64(0)

@@ -164,6 +164,7 @@ func recoverTxn(env recoverEnv, tid timestamp.TxnID, coreID uint32, proposer, se
 	majority := env.topo.Majority()
 	f := env.topo.F()
 	round := RoundOf(seenView) + 1
+	var outs []transport.Outgoing // broadcast scratch, reused across phases
 
 	for attempt := 0; attempt <= env.retries; attempt++ {
 		view := MakeView(round, proposer)
@@ -172,10 +173,7 @@ func recoverTxn(env recoverEnv, tid timestamp.TxnID, coreID uint32, proposer, se
 		// Phase 1: coordinator change — a majority promises to ignore
 		// lower-viewed proposals and reports its record for tid.
 		req := message.Message{Type: message.TypeCoordChange, TID: tid, View: view, CoreID: coreID}
-		for _, dst := range group {
-			m := req // copy per destination: Send stamps Src
-			env.ep.Send(dst, &m)
-		}
+		outs = broadcast(env.ep, group, &req, outs)
 		records := make([]message.TRecordEntry, 0, len(group))
 		acked := make(map[uint32]bool, len(group))
 		higher := uint64(0)
@@ -241,10 +239,7 @@ func recoverTxn(env recoverEnv, tid timestamp.TxnID, coreID uint32, proposer, se
 			Type: message.TypeAccept, TID: tid, Status: proposal, View: view,
 			Txn: body, TS: ts, CoreID: coreID,
 		}
-		for _, dst := range group {
-			m := accept // copy per destination: Send stamps Src
-			env.ep.Send(dst, &m)
-		}
+		outs = broadcast(env.ep, group, &accept, outs)
 		acks := make(map[uint32]bool, len(group))
 		higher = 0
 		deadline = time.NewTimer(env.timeout)
@@ -289,7 +284,6 @@ func broadcastCommit(ep transport.Endpoint, group []message.Addr, tid timestamp.
 	if committed {
 		st = message.StatusCommitted
 	}
-	for _, dst := range group {
-		ep.Send(dst, &message.Message{Type: message.TypeCommit, TID: tid, Status: st, CoreID: coreID})
-	}
+	req := message.Message{Type: message.TypeCommit, TID: tid, Status: st, CoreID: coreID}
+	broadcast(ep, group, &req, nil)
 }

@@ -364,6 +364,23 @@ func (ep *endpoint) Send(dst message.Addr, m *message.Message) error {
 	return err
 }
 
+// SendBatch implements transport.Endpoint. Each message runs through the
+// injector individually — fault draws are per message, exactly as if the
+// caller had issued N Sends — so fault schedules are identical whether the
+// layer below batches or not.
+func (ep *endpoint) SendBatch(batch []transport.Outgoing) error {
+	var firstErr error
+	for i := range batch {
+		if err := ep.Send(batch[i].Dst, batch[i].M); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Flush implements transport.Endpoint, passing through to the wrapped wire.
+func (ep *endpoint) Flush() error { return ep.inner.Flush() }
+
 // send delivers m (and its duplicate) now or after the injected delay.
 // Duplicates are distinct Message values sharing payload slices: receivers
 // treat inbound messages as immutable, exactly as with a duplicating network.

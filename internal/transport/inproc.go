@@ -286,6 +286,26 @@ func (ep *inprocEndpoint) Send(dst message.Addr, m *message.Message) error {
 	return ep.net.dispatch(ep, dst, m)
 }
 
+// SendBatch implements Endpoint. A send here is already a direct channel
+// hand-off with no per-message boundary cost to amortize, so the batch maps
+// onto N dispatches; the receive side still drains bursts Batch messages per
+// wakeup (see run), which is where inproc's batching lives.
+func (ep *inprocEndpoint) SendBatch(batch []Outgoing) error {
+	if ep.closed.Load() {
+		return ErrClosed
+	}
+	for i := range batch {
+		batch[i].M.Src = ep.addr
+		if err := ep.net.dispatch(ep, batch[i].Dst, batch[i].M); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements Endpoint. Inproc buffers nothing on the send side.
+func (ep *inprocEndpoint) Flush() error { return nil }
+
 // Close implements Endpoint.
 func (ep *inprocEndpoint) Close() error {
 	if ep.closed.Swap(true) {

@@ -17,4 +17,6 @@ func (n *UDP) RegisterObs(r *obs.Registry) {
 	r.RegisterGauge("net_udp_sent", func() uint64 { return n.Stats().Sent })
 	r.RegisterGauge("net_udp_delivered", func() uint64 { return n.Stats().Delivered })
 	r.RegisterGauge("net_udp_dropped", func() uint64 { return n.Stats().Dropped })
+	r.RegisterGauge("net_udp_send_syscalls", func() uint64 { return n.Stats().SendCalls })
+	r.RegisterGauge("net_udp_recv_syscalls", func() uint64 { return n.Stats().RecvCalls })
 }

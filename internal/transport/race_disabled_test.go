@@ -1,0 +1,6 @@
+//go:build !race
+
+package transport
+
+// raceEnabled reports whether the race detector is on; see race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether the race detector is on. Race instrumentation
+// adds bookkeeping allocations, so the allocation-count gates are
+// meaningless under -race and skip themselves.
+const raceEnabled = true

@@ -31,6 +31,12 @@ import (
 // never run concurrently with each other.
 type Handler func(m *message.Message)
 
+// Outgoing pairs one message with its destination, for batched sends.
+type Outgoing struct {
+	Dst message.Addr
+	M   *message.Message
+}
+
 // Endpoint is a bound (node, core) address that can send messages.
 type Endpoint interface {
 	// Addr returns the endpoint's own address.
@@ -39,8 +45,26 @@ type Endpoint interface {
 	// unreliably: the message may be dropped, delayed, or reordered, per
 	// the network's fault configuration (or the whims of a real kernel).
 	// The transport stamps m.Src before delivery. Callers must not mutate
-	// m after Send returns.
+	// m after Send returns. A transport may briefly coalesce a Send with
+	// neighbouring sends (see SendBatch); Flush forces anything buffered
+	// onto the wire.
 	Send(dst message.Addr, m *message.Message) error
+	// SendBatch sends every message in batch, amortizing per-boundary
+	// costs (syscalls on a real wire) across the batch where the
+	// transport supports it. The messages are consumed during the call:
+	// the transport either serializes or hands them off before
+	// returning, so the caller may reuse the batch slice immediately —
+	// but, as with Send, must never mutate the messages themselves
+	// afterwards. Equivalent to calling Send once per element; the same
+	// delivery guarantees (none) apply.
+	SendBatch(batch []Outgoing) error
+	// Flush forces out anything the transport has buffered but not yet
+	// put on the wire. Transports that buffer nothing return nil
+	// immediately. Send/SendBatch self-flush when their internal ring
+	// fills, so Flush is a latency bound, not a correctness requirement —
+	// except where a transport is configured with an explicit
+	// coalescing delay.
+	Flush() error
 	// Close unbinds the endpoint and stops its delivery goroutine.
 	Close() error
 }

@@ -1,0 +1,22 @@
+//go:build !linux || !(amd64 || arm64)
+
+// Portable UDP wire for platforms without the raw sendmmsg/recvmmsg path:
+// one syscall per datagram, exactly the pre-batching transport behavior.
+// The batching contract still holds (SendBatch serializes the whole batch
+// under one lock and delivers it in order); only the syscall amortization is
+// absent, which UDPStats.SendCalls/RecvCalls make visible.
+package transport
+
+// udpPlat has no per-platform shared state on the fallback wire.
+type udpPlat struct{}
+
+// udpWire has no per-endpoint state on the fallback wire.
+type udpWire struct{}
+
+func (ep *udpEndpoint) wireInit() {}
+
+func (ep *udpEndpoint) writeWire(slots []sendSlot) error {
+	return ep.writeFallback(slots)
+}
+
+func (ep *udpEndpoint) readLoop() { ep.readLoopFallback() }

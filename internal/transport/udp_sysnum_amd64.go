@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// The stdlib syscall package predates sendmmsg and never grew its number;
+// recvmmsg is pinned alongside it for symmetry. These are ABI constants for
+// linux/amd64.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// ABI syscall numbers for linux/arm64 (the asm-generic table).
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

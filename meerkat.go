@@ -77,6 +77,21 @@ type Config struct {
 	// 127.0.0.1, 29000.
 	UDPHost     string
 	UDPBasePort int
+	// UDPMaxClients is the client budget the UDP port map is validated
+	// against: Validate fails with ErrPortMap if that many clients (plus
+	// all replica and recovery slots) cannot fit the 16-bit port range.
+	// Creating more clients than this is still caught, at NewClient time,
+	// by the transport's own typed port checks. Default 64.
+	UDPMaxClients int
+	// UDPFlushDelay, when positive, lets UDP endpoints hold buffered
+	// outgoing datagrams up to this long waiting for more to share a
+	// sendmmsg with (a micro-Nagle for the batched syscall path). Zero
+	// flushes on every send boundary. Only meaningful with TransportUDP.
+	UDPFlushDelay time.Duration
+	// UDPNoBatch forces the UDP transport onto its one-syscall-per-
+	// datagram path even where sendmmsg/recvmmsg are available. It exists
+	// so benchmarks can measure the per-message baseline; leave it off.
+	UDPNoBatch bool
 
 	// DropProb injects random message loss on the inproc transport, and
 	// Delay adds constant per-message latency, for fault-tolerance tests.
@@ -175,6 +190,19 @@ func (c *Config) Validate() error {
 	if c.UDPBasePort == 0 {
 		c.UDPBasePort = 29000
 	}
+	if c.UDPMaxClients == 0 {
+		c.UDPMaxClients = 64
+	}
+	if c.Transport == TransportUDP {
+		// Statically check the port map before anything binds: replica ids
+		// must stay clear of the recovery-coordinator slots, and the
+		// highest client address must fit 16 bits. The throwaway network
+		// only does arithmetic here; no socket is created.
+		probe := transport.NewUDP(c.UDPHost, c.UDPBasePort, c.udpCoresPerNode())
+		if err := probe.ValidatePortMap(c.Partitions, c.Replicas, c.UDPMaxClients); err != nil {
+			return fmt.Errorf("%w: %w", ErrPortMap, err)
+		}
+	}
 	if c.CommitTimeout == 0 {
 		c.CommitTimeout = 100 * time.Millisecond
 	}
@@ -198,6 +226,10 @@ func (c *Config) Validate() error {
 
 func (c *Config) fill() error { return c.Validate() }
 
+// udpCoresPerNode is the ports-per-node stride of the UDP port map: cores
+// per node must also cover the highest client core index (1+Partitions).
+func (c *Config) udpCoresPerNode() int { return maxInt(c.Cores, 2+c.Partitions) }
+
 // Cluster is a running Meerkat deployment: Partitions replica groups of
 // Replicas nodes each, plus the transport fabric connecting them to clients.
 type Cluster struct {
@@ -205,6 +237,7 @@ type Cluster struct {
 	topo topo.Topology
 	net  transport.Network
 	inet *transport.Inproc // non-nil iff inproc transport
+	unet *transport.UDP    // non-nil iff UDP transport
 	fnet *faultnet.Network // non-nil iff cfg.Faults was set
 
 	obs    *obs.Registry // never nil after NewCluster
@@ -249,7 +282,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	case TransportUDP:
 		// One port per (node, core); cores per node must cover the
 		// highest client core index (1+Partitions).
-		c.net = transport.NewUDP(cfg.UDPHost, cfg.UDPBasePort, maxInt(cfg.Cores, 2+cfg.Partitions))
+		c.unet = transport.NewUDP(cfg.UDPHost, cfg.UDPBasePort, cfg.udpCoresPerNode())
+		c.unet.SetFlushDelay(cfg.UDPFlushDelay)
+		c.unet.SetBatchDisabled(cfg.UDPNoBatch)
+		c.net = c.unet
 	default:
 		return nil, fmt.Errorf("meerkat: unknown transport %d", cfg.Transport)
 	}
@@ -459,6 +495,37 @@ func (c *Cluster) NetworkStats() (sent, delivered, dropped uint64) {
 	}
 	s := c.inet.Stats()
 	return s.Sent.Load(), s.Delivered.Load(), s.Dropped.Load()
+}
+
+// UDPNetStats is a point-in-time aggregate of the UDP transport's
+// socket-level counters. The syscall counters are what the batched transport
+// amortizes: datagrams moved per send syscall is Sent/SendSyscalls.
+type UDPNetStats struct {
+	Sent         uint64 // datagrams handed to the kernel
+	Delivered    uint64 // datagrams decoded and delivered
+	Dropped      uint64 // local send errors + corrupt inbound datagrams
+	SendSyscalls uint64 // sendmmsg/sendto calls
+	RecvSyscalls uint64 // recvmmsg/recvfrom calls
+}
+
+// Syscalls returns total socket syscalls issued.
+func (s UDPNetStats) Syscalls() uint64 { return s.SendSyscalls + s.RecvSyscalls }
+
+// UDPStats reports socket-level counters; ok is false unless the cluster
+// runs on TransportUDP. Counters survive Cluster.Close, so post-run scrapes
+// stay truthful.
+func (c *Cluster) UDPStats() (s UDPNetStats, ok bool) {
+	if c.unet == nil {
+		return s, false
+	}
+	t := c.unet.Stats()
+	return UDPNetStats{
+		Sent:         t.Sent,
+		Delivered:    t.Delivered,
+		Dropped:      t.Dropped,
+		SendSyscalls: t.SendCalls,
+		RecvSyscalls: t.RecvCalls,
+	}, true
 }
 
 // clientClock builds the clock for a new client, applying configured skew.

@@ -1,0 +1,78 @@
+package meerkat
+
+import (
+	"meerkat/internal/coordinator"
+)
+
+// Session pipelines multiple in-flight transactions over one set of client
+// sockets. A plain Client is stop-and-wait — one transaction in flight, the
+// wire idle between round trips — which on TransportUDP leaves the batched
+// sendmmsg/recvmmsg rings nearly empty. A Session opens the same endpoints a
+// single client would and multiplexes a bounded window of workers over them;
+// each worker behaves exactly like a Client (same API, same retry loop),
+// and their concurrent round trips keep the rings full so the per-syscall
+// datagram batch grows with the window.
+//
+// Drive each worker from its own goroutine; a single worker is not safe for
+// concurrent use, exactly like a Client.
+type Session struct {
+	inner   *coordinator.Session
+	clients []*Client
+}
+
+// NewSession registers a pipelined client session of the given window width
+// (clamped up to 1; see coordinator.MaxWindow for the ceiling). The session
+// counts as one client id against the UDP port budget regardless of window.
+func (c *Cluster) NewSession(window int) (*Session, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClusterClosed
+	}
+	c.nextCli++
+	id := c.nextCli
+	c.mu.Unlock()
+
+	inner, err := coordinator.NewSession(coordinator.Config{
+		Topo:            c.topo,
+		ClientID:        id,
+		Net:             c.net,
+		Clock:           c.clientClock(id),
+		Timeout:         c.cfg.CommitTimeout,
+		Retries:         c.cfg.Retries,
+		BackoffBase:     c.cfg.BackoffBase,
+		BackoffMax:      c.cfg.BackoffMax,
+		DisableFastPath: c.cfg.DisableFastPath,
+		Seed:            c.cfg.Seed + int64(id),
+		Obs:             c.obs.NewShard(),
+	}, window)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{inner: inner}
+	for i := 0; i < inner.Window(); i++ {
+		s.clients = append(s.clients, &Client{coord: inner.Worker(i), id: id})
+	}
+	return s, nil
+}
+
+// Window returns the session's pipeline width.
+func (s *Session) Window() int { return len(s.clients) }
+
+// Clients returns the session's workers, one per pipeline slot. Each is a
+// full Client sharing the session's sockets; Client.Close on a session
+// worker is a no-op (the session owns the endpoints).
+func (s *Session) Clients() []*Client { return s.clients }
+
+// Stats sums committed/aborted counts across the session's workers.
+func (s *Session) Stats() (committed, aborted uint64) {
+	for _, cl := range s.clients {
+		c, a := cl.Stats()
+		committed += c
+		aborted += a
+	}
+	return
+}
+
+// Close releases the session's endpoints. Workers must be idle.
+func (s *Session) Close() { s.inner.Close() }
