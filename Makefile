@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-udp chaos check
+.PHONY: build test race vet bench bench-json bench-udp bench-wal chaos check
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,9 @@ bench-json:
 MEASURE ?= 2s
 bench-udp:
 	$(GO) run ./cmd/meerkat-bench -exp udp -measure $(MEASURE) -json BENCH_pr6.json
+
+# Durability cost of the per-core write-ahead log: Retwis goodput fully in
+# memory vs the WAL under each fsync policy (none/batch/always), with fsyncs
+# per committed transaction showing the group-commit amortization.
+bench-wal:
+	$(GO) run ./cmd/meerkat-bench -exp wal -measure $(MEASURE) -json BENCH_pr7.json

@@ -35,7 +35,7 @@ import (
 )
 
 var (
-	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|udp|calibrate|all (udp binds real loopback sockets, so it runs only when asked for explicitly)")
+	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|udp|wal|calibrate|all (udp binds real loopback sockets and wal writes real files, so those run only when asked for explicitly)")
 	faults      = flag.Bool("faults", false, "run the kill-one-replica fault-injection timeline (same as -exp faults)")
 	transportF  = flag.String("transport", "", "\"udp\" runs the wire-level transport comparison (same as -exp udp): batched sendmmsg/recvmmsg + pipelined sessions vs the per-datagram baseline vs inproc")
 	window      = flag.Int("window", 16, "udp experiment: in-flight transactions per pipelined session")
@@ -230,6 +230,13 @@ func main() {
 				BasePort:   *udpPort,
 			})
 			report.Add("udp", pts)
+			return err
+		})
+	}
+	if *exp == "wal" {
+		run("WAL durability cost (measured: goodput per fsync policy)", func() error {
+			pts, err := bench.WALSweep(out, bench.WALOptions{Options: opts})
+			report.Add("wal", pts)
 			return err
 		})
 	}

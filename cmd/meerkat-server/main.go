@@ -12,6 +12,10 @@
 //
 // All processes must agree on -host, -port, -replicas, -cores, and
 // -partitions (they define the address map).
+//
+// With -data-dir the replica persists commits to per-core write-ahead logs
+// and restarts from disk (see the durability section of DESIGN.md); -sync
+// selects the fsync policy (none, batch, always).
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"meerkat/internal/topo"
 	"meerkat/internal/transport"
 	"meerkat/internal/vstore"
+	"meerkat/internal/wal"
 	"meerkat/internal/workload"
 )
 
@@ -42,8 +47,16 @@ func main() {
 		keys        = flag.Int("keys", 0, "pre-load this many benchmark keys")
 		shared      = flag.Bool("shared-record", false, "use the TAPIR-like shared transaction record")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar JSON), and /debug/pprof on this address")
+		dataDir     = flag.String("data-dir", "", "persist commits to per-core write-ahead logs in this directory (empty: in-memory only)")
+		syncFlag    = flag.String("sync", "batch", "WAL fsync policy: none, batch, or always")
 	)
 	flag.Parse()
+
+	syncPolicy, err := wal.ParseSyncPolicy(*syncFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	t := topo.Topology{Partitions: *partitions, Replicas: *replicas, Cores: *cores}
 	if !t.Validate() {
@@ -60,16 +73,30 @@ func main() {
 	reg := obs.NewRegistry()
 	net.RegisterObs(reg)
 
-	store := vstore.New(vstore.Config{})
+	// With -data-dir the store is rebuilt from the local snapshot + logs; a
+	// fresh directory starts empty, exactly like the in-memory path.
+	var store *vstore.Store
+	var w *wal.Store
+	recovered := false
+	if *dataDir != "" {
+		ws, recov, err := wal.Open(*dataDir, *cores, wal.Options{Sync: syncPolicy})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w, store = ws, recov.Store
+		recovered = recov.SnapshotKeys > 0 || recov.Records > 0
+		fmt.Printf("wal: recovered snapshot=%d (%d keys) + %d log records, watermark %v, torn=%v, sync=%v\n",
+			recov.SnapshotSeq, recov.SnapshotKeys, recov.Records, recov.Watermark, recov.Torn, syncPolicy)
+	} else {
+		store = vstore.New(vstore.Config{})
+	}
 	reg.RegisterGauge("vstore_keys", func() uint64 { k, _ := store.Counts(); return k })
 	reg.RegisterGauge("vstore_versions", func() uint64 { _, v := store.Counts(); return v })
-	if *keys > 0 {
-		val := workload.Value(64)
-		ts := timestamp.Timestamp{Time: 1, ClientID: 0}
-		for i := 0; i < *keys; i++ {
-			store.Load(workload.KeyName(i), val, ts)
-		}
-		fmt.Printf("loaded %d keys\n", *keys)
+	if w != nil {
+		reg.RegisterGauge("wal_appends", func() uint64 { return w.Stats().Appends })
+		reg.RegisterGauge("wal_syncs", func() uint64 { return w.Stats().Syncs })
+		reg.RegisterGauge("wal_bytes_written", func() uint64 { return w.Stats().BytesWritten })
 	}
 
 	rep, err := replica.New(replica.Config{
@@ -80,15 +107,31 @@ func main() {
 		Store:        store,
 		SharedRecord: *shared,
 		Obs:          reg,
+		WAL:          w,
 	})
 	if err != nil {
+		if w != nil {
+			w.Close()
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *keys > 0 && !recovered {
+		// Preload through the replica so the keys hit the WAL too; a
+		// restarted replica already has them from replay.
+		val := workload.Value(64)
+		ts := timestamp.Timestamp{Time: 1, ClientID: 0}
+		for i := 0; i < *keys; i++ {
+			rep.Load(workload.KeyName(i), val, ts)
+		}
+		fmt.Printf("loaded %d keys\n", *keys)
 	}
 	if err := rep.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Stop flushes and fsyncs every core's log before closing it, so a
+	// SIGTERM'd replica restarts with zero committed-transaction loss.
 	defer rep.Stop()
 
 	if *metricsAddr != "" {

@@ -98,3 +98,56 @@ func TestDropConfigStillCommits(t *testing.T) {
 		}
 	}
 }
+
+func TestDurabilityConfigDefaults(t *testing.T) {
+	cfg := Config{Durability: Durability{DataDir: t.TempDir()}}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	d := cfg.Durability
+	if d.Sync != SyncBatch || d.GroupCommitInterval != 2*time.Millisecond ||
+		d.SnapshotInterval != 30*time.Second || d.MaxLogSegment != 64<<20 ||
+		d.DeltaMargin != 10*time.Second {
+		t.Fatalf("durability defaults %+v", d)
+	}
+
+	// Without a DataDir no defaults are applied (durability stays off) but
+	// nonsense is still rejected.
+	cfg = Config{}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Durability.Enabled() || cfg.Durability.SnapshotInterval != 0 {
+		t.Fatalf("disabled durability was normalized: %+v", cfg.Durability)
+	}
+}
+
+func TestDurabilityConfigRejected(t *testing.T) {
+	bad := []Config{
+		{Durability: Durability{DataDir: "x", GroupCommitInterval: -1}},
+		{Durability: Durability{DataDir: "x", DeltaMargin: -1}},
+		{Durability: Durability{DataDir: "x", MaxLogSegment: -1}},
+		{Durability: Durability{DataDir: "x", Sync: SyncPolicy(9)}},
+		{Durability: Durability{Sync: SyncPolicy(9)}}, // even with durability off
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad durability config %d accepted: %+v", i, cfg.Durability)
+		}
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"none", SyncNone}, {"batch", SyncBatch}, {"always", SyncAlways}, {"", SyncBatch}, {"ALWAYS", SyncAlways}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Fatal("bogus sync policy accepted")
+	}
+}

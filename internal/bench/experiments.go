@@ -62,6 +62,11 @@ type Point struct {
 	// amortization).
 	SyscallsPerTxn      float64
 	DatagramsPerSyscall float64
+
+	// FsyncsPerTxn is set by the WAL durability experiment only: fsync
+	// calls per committed transaction (group commit amortizes this far
+	// below 1; SyncAlways pays at least one per commit per replica).
+	FsyncsPerTxn float64
 }
 
 // genFactory builds per-client generator factories for a workload/theta.

@@ -64,6 +64,11 @@ type Config struct {
 	// CommitTimeout is the cluster's per-round-trip wait. Default 25ms —
 	// short, so a dropped message costs a quick resend, not a long stall.
 	CommitTimeout time.Duration
+	// Durability passes through to the cluster: with a DataDir set, injected
+	// crashes abandon unflushed buffers and restarts recover from disk
+	// before the delta state transfer, so the checker verdict covers the
+	// whole persistence path.
+	Durability meerkat.Durability
 }
 
 func (c *Config) fill() {
@@ -180,6 +185,7 @@ func Run(cfg Config) (*Result, error) {
 		Seed:          cfg.Seed,
 		Faults:        cfg.Plan,
 		CommitTimeout: cfg.CommitTimeout,
+		Durability:    cfg.Durability,
 	})
 	if err != nil {
 		return nil, err

@@ -41,7 +41,7 @@ func randomMessage(rng *rand.Rand) *Message {
 		return t
 	}
 	m := &Message{
-		Type:   Type(rng.Intn(int(TypeMultiReadReply) + 1)),
+		Type:   Type(rng.Intn(int(TypeWALSnapshot) + 1)),
 		Txn:    rtxn(),
 		TID:    timestamp.TxnID{Seq: rng.Uint64() % 1000, ClientID: 5},
 		TS:     rts(),

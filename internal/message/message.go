@@ -66,6 +66,13 @@ const (
 	// stay stable on the wire.
 	TypeMultiRead      // coordinator -> any replica: read Keys, in order
 	TypeMultiReadReply // replica -> coordinator: Reads[i] answers Keys[i]
+
+	// Durability records (internal/wal). These never cross the network; they
+	// are the payloads of CRC-framed entries in the per-core write-ahead logs
+	// and snapshot files, reusing this codec so the log format gets the same
+	// pooled, fuzz-hardened encode/decode as the wire.
+	TypeWALRecord   // one committed transaction: Txn + TS
+	TypeWALSnapshot // one page of a vstore snapshot: State + Seq (shard)
 )
 
 var typeNames = [...]string{
@@ -95,6 +102,8 @@ var typeNames = [...]string{
 	TypeStateReply:             "state-reply",
 	TypeMultiRead:              "multi-read",
 	TypeMultiReadReply:         "multi-read-reply",
+	TypeWALRecord:              "wal-record",
+	TypeWALSnapshot:            "wal-snapshot",
 }
 
 // String returns the message type's protocol name.

@@ -40,6 +40,11 @@ type Options struct {
 	// Obs, when non-nil, records epoch-change lifecycle counters
 	// (runs completed, merged entries, rule-4 re-validations).
 	Obs *obs.Shard
+	// Since restricts SyncStoreRemote to keys whose committed state changed
+	// after this timestamp — the delta transfer a replica that already
+	// replayed its local write-ahead log uses. Zero (the default) transfers
+	// everything.
+	Since timestamp.Timestamp
 }
 
 func (o *Options) fill() {
@@ -371,7 +376,7 @@ func SyncStoreRemote(net transport.Network, t topo.Topology, p, from int, dst *v
 	for shard := uint64(0); ; {
 		got := false
 		for attempt := 0; attempt <= opts.Retries && !got; attempt++ {
-			ep.Send(donor, &message.Message{Type: message.TypeStateRequest, Seq: shard})
+			ep.Send(donor, &message.Message{Type: message.TypeStateRequest, Seq: shard, TS: opts.Since})
 			deadline := time.NewTimer(opts.Timeout)
 		wait:
 			for {

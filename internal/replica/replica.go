@@ -31,6 +31,7 @@ import (
 	"meerkat/internal/transport"
 	"meerkat/internal/trecord"
 	"meerkat/internal/vstore"
+	"meerkat/internal/wal"
 )
 
 // RecovererCore is the core number used for a replica's backup-coordinator
@@ -47,6 +48,13 @@ type Config struct {
 	// Store, when non-nil, is used as the versioned storage layer
 	// (pre-loaded databases, tests); otherwise an empty store is created.
 	Store *vstore.Store
+
+	// WAL, when non-nil, is the replica's durability layer: each core
+	// appends commit records to its own log before applying them (write-
+	// ahead ordering), and Start launches the periodic snapshotter. The
+	// WAL must have exactly Topo.Cores logs. The replica takes ownership:
+	// Stop closes it gracefully (flush + fsync), Crash drops it.
+	WAL *wal.Store
 
 	// SharedRecord selects the TAPIR-like baseline: one transaction
 	// record per replica, shared across cores behind a mutex.
@@ -105,6 +113,7 @@ type core struct {
 	part   *trecord.Partition // used only when !SharedRecord
 	paused bool
 	obs    *obs.Shard // per-core lifecycle recorder (nil-safe)
+	log    *wal.Log   // this core's write-ahead log (nil without durability)
 
 	sweepStop chan struct{}
 }
@@ -128,6 +137,10 @@ func New(cfg Config) (*Replica, error) {
 	if cfg.StaleAfter == 0 {
 		cfg.StaleAfter = 5 * cfg.SweepInterval
 	}
+	if cfg.WAL != nil && cfg.WAL.Cores() != cfg.Topo.Cores {
+		return nil, fmt.Errorf("replica: WAL has %d logs, topology has %d cores",
+			cfg.WAL.Cores(), cfg.Topo.Cores)
+	}
 	st := cfg.Store
 	if st == nil {
 		st = vstore.New(vstore.Config{})
@@ -141,6 +154,9 @@ func New(cfg Config) (*Replica, error) {
 		if !cfg.SharedRecord {
 			cc.part = trecord.NewPartition()
 		}
+		if cfg.WAL != nil {
+			cc.log = cfg.WAL.Log(c)
+		}
 		r.cores = append(r.cores, cc)
 	}
 	return r, nil
@@ -149,6 +165,10 @@ func New(cfg Config) (*Replica, error) {
 // Store returns the replica's versioned storage layer, for pre-loading and
 // verification.
 func (r *Replica) Store() *vstore.Store { return r.store }
+
+// WAL returns the replica's durability layer, or nil when running
+// in-memory only.
+func (r *Replica) WAL() *wal.Store { return r.cfg.WAL }
 
 // Node returns the replica's node id.
 func (r *Replica) Node() uint32 {
@@ -187,6 +207,9 @@ func (r *Replica) Start() error {
 		}
 		c.ep.Store(&ep)
 	}
+	if r.cfg.WAL != nil {
+		r.cfg.WAL.StartSnapshotter(r.store)
+	}
 	if r.cfg.SweepInterval > 0 {
 		rec, err := coordinator.NewRecoverer(
 			r.cfg.Net, r.cfg.Topo,
@@ -207,10 +230,23 @@ func (r *Replica) Start() error {
 	return nil
 }
 
-// Stop closes all endpoints and stops sweepers. The replica cannot be
-// restarted; create a new one (recovering replicas restart without state,
-// per §5.3.1).
+// Stop gracefully closes all endpoints, stops sweepers, and — with
+// durability enabled — flushes and fsyncs every core's log before closing
+// it, so a stopped replica loses nothing. The replica cannot be restarted;
+// create a new one (with durability, Open replays its directory).
 func (r *Replica) Stop() {
+	r.shutdown(false)
+}
+
+// Crash simulates a process crash: endpoints close, but the write-ahead
+// logs are dropped without flushing their pending buffers (wal.Store.Crash).
+// This is what a chaos CrashReplica should call so that recovery is
+// exercised against realistically torn logs.
+func (r *Replica) Crash() {
+	r.shutdown(true)
+}
+
+func (r *Replica) shutdown(crash bool) {
 	if r.stopped.Swap(true) {
 		return
 	}
@@ -225,6 +261,23 @@ func (r *Replica) Stop() {
 	if r.recoverer != nil {
 		r.recoverer.Close()
 	}
+	if r.cfg.WAL != nil {
+		if crash {
+			r.cfg.WAL.Crash()
+		} else {
+			r.cfg.WAL.Close()
+		}
+	}
+}
+
+// Load installs an initial version of key, bypassing concurrency control
+// (bulk-loading before a run). With durability enabled the load is also
+// appended to core 0's log so preloaded data survives a restart.
+func (r *Replica) Load(key string, value []byte, ts timestamp.Timestamp) {
+	if r.cfg.WAL != nil {
+		r.cfg.WAL.Log(0).AppendLoad(key, value, ts)
+	}
+	r.store.Load(key, value, ts)
 }
 
 // withRecords runs fn against the record table a transaction on this core
@@ -287,10 +340,13 @@ func (c *core) handle(m *message.Message) {
 
 // handleStateRequest serves one shard of the versioned store to a
 // recovering replica (state transfer, §5.3.1). The requester paginates by
-// shard index in Seq; OK reports whether more shards remain.
+// shard index in Seq; OK reports whether more shards remain. TS, when
+// non-zero, is a delta watermark: only keys written or read after it are
+// shipped, so a replica that replayed its local write-ahead log fetches a
+// fraction of the store.
 func (c *core) handleStateRequest(m *message.Message) {
 	shard := int(m.Seq)
-	exported := c.r.store.ExportShard(shard)
+	exported := c.r.store.ExportShardSince(shard, m.TS)
 	state := make([]message.KeyState, 0, len(exported))
 	for _, ks := range exported {
 		state = append(state, message.KeyState{
@@ -434,7 +490,7 @@ func (c *core) handleCommit(m *message.Message) {
 	}
 	p := c.lockRecords()
 	if rec := p.Get(m.TID); rec != nil {
-		if finalizeRecord(c.r.store, rec, m.Status) {
+		if c.finalize(rec, m.Status) {
 			if m.Status == message.StatusCommitted {
 				c.obs.Inc(obs.CommitApplied)
 			} else {
@@ -445,6 +501,22 @@ func (c *core) handleCommit(m *message.Message) {
 	// A nil record means this replica never saw the transaction (dropped
 	// validate); it will learn the outcome during the next epoch change.
 	c.unlockRecords()
+}
+
+// finalize moves rec to final status st, appending a commit record to this
+// core's write-ahead log first — write-ahead ordering: the record must be
+// durable (or at least buffered for the group commit, per the SyncPolicy)
+// before its effects become observable in the store. Only commits are
+// logged; aborts leave no observable state, so replay needs nothing from
+// them. Reports whether it transitioned the record.
+func (c *core) finalize(rec *trecord.Record, st message.Status) bool {
+	if rec.Status.Final() {
+		return false
+	}
+	if st == message.StatusCommitted && c.log != nil {
+		c.log.AppendCommit(&rec.Txn, rec.TS)
+	}
+	return finalizeRecord(c.r.store, rec, st)
 }
 
 // finalizeRecord moves rec to final status st and applies the write phase.
@@ -552,7 +624,7 @@ func (c *core) handleEpochChangeComplete(m *message.Message) {
 			return true
 		})
 		for _, rec := range drop {
-			finalizeRecord(c.r.store, rec, message.StatusAborted)
+			c.finalize(rec, message.StatusAborted)
 		}
 		if c.r.cfg.CompactOnEpochChange {
 			p.Compact()
@@ -576,7 +648,7 @@ func (c *core) install(p *trecord.Partition, e *message.TRecordEntry) {
 			CreatedAt: nanotime(),
 		}
 		p.Put(rec)
-		finalizeRecord(c.r.store, rec, e.Status)
+		c.finalize(rec, e.Status)
 		return
 	}
 	if rec.Status.Final() {
@@ -588,7 +660,7 @@ func (c *core) install(p *trecord.Partition, e *message.TRecordEntry) {
 	}
 	rec.View = e.View
 	rec.AcceptView = e.AcceptView
-	finalizeRecord(c.r.store, rec, e.Status)
+	c.finalize(rec, e.Status)
 }
 
 // sweepLoop periodically injects a sweep message into the core's own queue,

@@ -425,6 +425,14 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // transfer. Pending readers/writers are deliberately excluded: in-flight
 // transactions are reconciled by the epoch change that follows a transfer.
 func (s *Store) ExportShard(i int) []KeyState {
+	return s.ExportShardSince(i, timestamp.Timestamp{})
+}
+
+// ExportShardSince is ExportShard restricted to keys whose committed state
+// changed after since — written (WTS) or read (RTS) past it. A recovering
+// replica that already replayed a local snapshot+log uses it to fetch only
+// the delta; a zero since exports everything (any committed WTS is > Zero).
+func (s *Store) ExportShardSince(i int, since timestamp.Timestamp) []KeyState {
 	if i < 0 || i >= len(s.shards) {
 		return nil
 	}
@@ -434,7 +442,9 @@ func (s *Store) ExportShard(i int) []KeyState {
 		e.mu.Lock()
 		if len(e.versions) > 0 {
 			lv := e.versions[len(e.versions)-1]
-			out = append(out, KeyState{Key: k.(string), Value: lv.Value, WTS: lv.WTS, RTS: e.rts})
+			if since.Less(lv.WTS) || since.Less(e.rts) {
+				out = append(out, KeyState{Key: k.(string), Value: lv.Value, WTS: lv.WTS, RTS: e.rts})
+			}
 		}
 		e.mu.Unlock()
 		return true

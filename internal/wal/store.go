@@ -1,0 +1,432 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"meerkat/internal/message"
+	"meerkat/internal/occ"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/vstore"
+)
+
+// manifestName is the snapshot pointer file at the root of a replica's
+// durability directory.
+const manifestName = "MANIFEST"
+
+// manifest is the JSON body of the MANIFEST file. It only needs to name the
+// current snapshot: commit records are idempotent (Thomas write rule,
+// monotone rts), so replaying not-yet-truncated pre-snapshot segments over
+// the snapshot is harmless and no per-core offsets are required.
+type manifest struct {
+	Snapshot string `json:"snapshot"` // snapshot file name, e.g. "snapshot-00000003.snap"
+	Seq      uint64 `json:"seq"`      // snapshot sequence number
+}
+
+func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%08d.snap", seq) }
+
+// coreDir names the per-core log directory under the replica's root.
+func coreDir(dir string, core int) string {
+	return filepath.Join(dir, fmt.Sprintf("core-%d", core))
+}
+
+// Recovered reports what Open replayed from disk.
+type Recovered struct {
+	Store        *vstore.Store       // the store, populated from snapshot + logs
+	Watermark    timestamp.Timestamp // max committed timestamp observed on disk
+	SnapshotSeq  uint64              // snapshot sequence replayed (0 = none)
+	SnapshotKeys int                 // keys restored from the snapshot
+	Records      int                 // commit records replayed from the logs
+	Torn         bool                // some log ended at a torn/corrupt frame
+}
+
+// Store is one replica's durability state: a per-core set of write-ahead
+// logs plus the snapshot/manifest machinery that truncates them.
+type Store struct {
+	dir  string
+	opts Options
+	logs []*Log
+
+	snapMu  sync.Mutex // serializes snapshots (and protects snapSeq)
+	snapSeq uint64
+
+	snapStop chan struct{}
+	snapDone chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Open opens (creating if necessary) the durability directory for a replica
+// with the given core count, replays the current snapshot and every valid
+// log record into a fresh versioned store, and returns both. The logs are
+// left open for appending, torn tails truncated. Replay is idempotent, so a
+// directory whose truncation was interrupted mid-way recovers identically.
+func Open(dir string, cores int, opts Options) (*Store, *Recovered, error) {
+	if cores <= 0 {
+		return nil, nil, fmt.Errorf("wal: cores must be positive, got %d", cores)
+	}
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+
+	vs := vstore.New(vstore.Config{})
+	rec := &Recovered{Store: vs}
+
+	// Snapshot first: logs replay over it.
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if man != nil {
+		keys, wm, err := replaySnapshot(filepath.Join(dir, man.Snapshot), vs)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.SnapshotSeq = man.Seq
+		rec.SnapshotKeys = keys
+		if rec.Watermark.Less(wm) {
+			rec.Watermark = wm
+		}
+	}
+
+	s := &Store{dir: dir, opts: opts, snapSeq: 0}
+	if man != nil {
+		s.snapSeq = man.Seq
+	}
+	for c := 0; c < cores; c++ {
+		l, rs, err := openLog(coreDir(dir, c), opts, func(m *message.Message) error {
+			occ.ApplyCommit(vs, &m.Txn, m.TS)
+			return nil
+		})
+		if err != nil {
+			for _, open := range s.logs {
+				open.Close()
+			}
+			return nil, nil, err
+		}
+		s.logs = append(s.logs, l)
+		rec.Records += rs.Records
+		rec.Torn = rec.Torn || rs.Torn
+		if rec.Watermark.Less(rs.Watermark) {
+			rec.Watermark = rs.Watermark
+		}
+	}
+	return s, rec, nil
+}
+
+// readManifest returns the current manifest, or nil if none exists yet.
+func readManifest(dir string) (*manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("wal: corrupt manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// replaySnapshot imports every valid page of a snapshot file into vs,
+// returning the key count and the max WTS/RTS watermark observed. A missing
+// file is not an error (the manifest may outlive a manually removed
+// snapshot); replay then starts from the logs alone.
+func replaySnapshot(path string, vs *vstore.Store) (int, timestamp.Timestamp, error) {
+	var wm timestamp.Timestamp
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, wm, nil
+	}
+	if err != nil {
+		return 0, wm, err
+	}
+	keys := 0
+	var states []vstore.KeyState
+	_, _, err = validPrefix(buf, func(payload []byte) error {
+		// Fresh message per page: the store retains the imported value
+		// slices, so they must not share DecodeInto's recycled buffers.
+		dec := &message.Message{}
+		if err := message.DecodeInto(dec, payload); err != nil {
+			return fmt.Errorf("wal: %s: %w", path, err)
+		}
+		if dec.Type != message.TypeWALSnapshot {
+			return fmt.Errorf("wal: %s: unexpected record type %v", path, dec.Type)
+		}
+		states = states[:0]
+		for i := range dec.State {
+			ks := &dec.State[i]
+			states = append(states, vstore.KeyState{
+				Key: ks.Key, Value: ks.Value, WTS: ks.WTS, RTS: ks.RTS,
+			})
+			if wm.Less(ks.WTS) {
+				wm = ks.WTS
+			}
+			if wm.Less(ks.RTS) {
+				wm = ks.RTS
+			}
+		}
+		vs.ImportState(states)
+		keys += len(states)
+		return nil
+	})
+	return keys, wm, err
+}
+
+// Log returns core c's write-ahead log.
+func (s *Store) Log(c int) *Log { return s.logs[c] }
+
+// Cores returns the number of per-core logs.
+func (s *Store) Cores() int { return len(s.logs) }
+
+// Dir returns the durability directory root.
+func (s *Store) Dir() string { return s.dir }
+
+// Snapshot serializes vs's committed state to a new snapshot file and
+// truncates the logs behind it. The protocol, in crash-safe order:
+//
+//  1. Mark: flush + rotate every core's log to a fresh segment. Records
+//     committed before the mark may still land in the snapshot (export is
+//     live), which is fine — replaying them over it is idempotent.
+//  2. Export every vstore shard into CRC-framed TypeWALSnapshot pages,
+//     written to a temp file, fsynced, renamed into place, dir fsynced.
+//  3. Atomically replace the MANIFEST (temp + rename + dir fsync). This is
+//     the commit point of the snapshot.
+//  4. Garbage-collect: delete superseded snapshot files and every whole
+//     log segment below each core's mark.
+//
+// A crash at any point leaves a directory Open recovers from: before 3 the
+// old manifest still rules (orphan temp/snapshot files are GC'd later);
+// after 3 the new snapshot rules and stale segments merely replay as no-ops.
+func (s *Store) Snapshot(vs *vstore.Store) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	marks := make([]uint64, len(s.logs))
+	for i, l := range s.logs {
+		m, err := l.MarkSnapshot()
+		if err != nil {
+			return err
+		}
+		marks[i] = m
+	}
+
+	seq := s.snapSeq + 1
+	name := snapshotName(seq)
+	tmp := filepath.Join(s.dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	page := &message.Message{Type: message.TypeWALSnapshot}
+	for shard := 0; shard < vs.NumShards(); shard++ {
+		exported := vs.ExportShard(shard)
+		if len(exported) == 0 {
+			continue
+		}
+		page.Seq = uint64(shard)
+		page.State = page.State[:0]
+		for i := range exported {
+			ks := &exported[i]
+			page.State = append(page.State, message.KeyState{
+				Key: ks.Key, Value: ks.Value, WTS: ks.WTS, RTS: ks.RTS,
+			})
+		}
+		buf = appendFrame(buf[:0], page)
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := renameAndSyncDir(tmp, filepath.Join(s.dir, name), s.dir); err != nil {
+		return err
+	}
+
+	// Commit point: publish the manifest.
+	mb, err := json.Marshal(manifest{Snapshot: name, Seq: seq})
+	if err != nil {
+		return err
+	}
+	mtmp := filepath.Join(s.dir, manifestName+".tmp")
+	if err := writeFileSync(mtmp, mb); err != nil {
+		return err
+	}
+	if err := renameAndSyncDir(mtmp, filepath.Join(s.dir, manifestName), s.dir); err != nil {
+		return err
+	}
+	s.snapSeq = seq
+
+	// GC old snapshots (and orphaned temp files) and truncate the logs.
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if n == name || n == manifestName || e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(n, "snapshot-") {
+			os.Remove(filepath.Join(s.dir, n))
+		}
+	}
+	for i, l := range s.logs {
+		if err := l.TruncateBefore(marks[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// renameAndSyncDir renames old to new and fsyncs the containing directory so
+// the rename itself is durable.
+func renameAndSyncDir(oldPath, newPath, dir string) error {
+	if err := os.Rename(oldPath, newPath); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is best-effort on platforms that reject it.
+	d.Sync()
+	return d.Close()
+}
+
+// StartSnapshotter begins periodic snapshots of vs every SnapshotInterval.
+// It is a no-op if already started or if the interval is negative.
+func (s *Store) StartSnapshotter(vs *vstore.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.snapStop != nil || s.opts.SnapshotInterval < 0 {
+		return
+	}
+	s.snapStop = make(chan struct{})
+	s.snapDone = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(s.opts.SnapshotInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				// Snapshot failures are not fatal: the logs keep growing and
+				// the next tick retries.
+				s.Snapshot(vs)
+			}
+		}
+	}(s.snapStop, s.snapDone)
+}
+
+// stopSnapshotter stops the periodic snapshotter, if running.
+func (s *Store) stopSnapshotter() {
+	s.mu.Lock()
+	stop, done := s.snapStop, s.snapDone
+	s.snapStop, s.snapDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Flush forces every core's pending records to disk (write + fsync).
+func (s *Store) Flush() error {
+	var first error
+	for _, l := range s.logs {
+		if err := l.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close gracefully shuts the store down: stop the snapshotter, then flush +
+// fsync + close every log. Safe to call more than once.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.stopSnapshotter()
+	var first error
+	for _, l := range s.logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Crash simulates a process crash: pending buffers are dropped and files
+// closed without fsync. See Log.Crash for the fidelity boundary.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.stopSnapshotter()
+	for _, l := range s.logs {
+		l.Crash()
+	}
+}
+
+// Stats aggregates the write counters of every core's log.
+func (s *Store) Stats() Stats {
+	var out Stats
+	for _, l := range s.logs {
+		st := l.Stats()
+		out.Appends += st.Appends
+		out.Syncs += st.Syncs
+		out.BytesWritten += st.BytesWritten
+		out.Segments += st.Segments
+	}
+	return out
+}

@@ -1,0 +1,574 @@
+// Package wal is Meerkat's durability subsystem: a zero-coordination-
+// principle-compliant persistence layer in which every replica core appends
+// commit records to its own write-ahead log — no shared log, the same
+// partitioning argument as the in-memory trecord — while a group-commit
+// stage batches fsyncs off the hot path and a snapshotter periodically
+// serializes the versioned store and truncates the logs behind it.
+//
+// Layout on disk, per replica:
+//
+//	<dir>/
+//	  MANIFEST                  current snapshot pointer (JSON, atomic rename)
+//	  snapshot-<seq>.snap       CRC-framed vstore snapshot pages
+//	  core-<id>/seg-<n>.wal     CRC-framed commit records, one dir per core
+//
+// Every file is a sequence of frames:
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// where the payload is the pooled internal/message binary encoding of a
+// Message (TypeWALRecord in logs, TypeWALSnapshot in snapshot files). Replay
+// consumes the longest valid prefix: a frame whose length overruns the file
+// or whose checksum mismatches ends replay cleanly — the torn tail a crash
+// mid-write leaves behind — and reopening for append truncates the tail so
+// the log never accumulates garbage between valid records.
+//
+// Crash-restart recovery replays the local snapshot plus logs (commit
+// records are idempotent: version installs follow the Thomas write rule and
+// rts advancement is monotone) and reports a watermark, so the caller can
+// fall back to the existing epoch-change state transfer for just the delta.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy uint8
+
+const (
+	// SyncBatch (default) buffers appends and lets the group-commit
+	// goroutine write+fsync them every GroupCommitInterval — commit
+	// acknowledgement is decoupled from disk latency, bounded data loss on
+	// a whole-machine crash.
+	SyncBatch SyncPolicy = iota
+	// SyncNone never fsyncs (the OS flushes at its leisure). Survives
+	// process crashes, not machine crashes.
+	SyncNone
+	// SyncAlways writes and fsyncs inside every append, before the commit
+	// is applied to the store — full single-replica durability, at disk
+	// latency on the commit path.
+	SyncAlways
+)
+
+// String names the policy as accepted by command-line flags.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncNone:
+		return "none"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("sync(%d)", uint8(p))
+}
+
+// ParseSyncPolicy parses "none", "batch", or "always".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none":
+		return SyncNone, nil
+	case "batch", "":
+		return SyncBatch, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return SyncBatch, fmt.Errorf("wal: unknown sync policy %q (want none|batch|always)", s)
+}
+
+// Options tunes a Store and its per-core logs. The zero value applies the
+// documented defaults.
+type Options struct {
+	// Sync is the fsync policy. Default SyncBatch.
+	Sync SyncPolicy
+	// GroupCommitInterval is the SyncBatch fsync cadence (also the write
+	// drain cadence under SyncNone). Default 2ms.
+	GroupCommitInterval time.Duration
+	// SnapshotInterval is how often Store.StartSnapshotter serializes the
+	// versioned store and truncates logs behind it. Default 30s.
+	SnapshotInterval time.Duration
+	// MaxSegmentBytes rotates a core's active log segment once it exceeds
+	// this size; whole segments behind the latest snapshot are deleted at
+	// truncation. Default 64 MiB.
+	MaxSegmentBytes int64
+}
+
+func (o *Options) fill() {
+	if o.GroupCommitInterval == 0 {
+		o.GroupCommitInterval = 2 * time.Millisecond
+	}
+	if o.SnapshotInterval == 0 {
+		o.SnapshotInterval = 30 * time.Second
+	}
+	if o.MaxSegmentBytes == 0 {
+		o.MaxSegmentBytes = 64 << 20
+	}
+}
+
+// castagnoli is the CRC-32C table used for frame checksums (hardware-
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeader is the per-frame overhead: u32 payload length + u32 CRC-32C.
+const frameHeader = 8
+
+// flushHighWater is the pending-buffer size past which an append kicks the
+// group-commit goroutine instead of waiting for its next tick.
+const flushHighWater = 1 << 20
+
+// maxRetainedBuffer bounds the capacity a drained pending buffer may carry
+// back for reuse, so one burst does not pin memory forever.
+const maxRetainedBuffer = 4 << 20
+
+// appendFrame appends one CRC frame carrying the encoding of m to buf.
+func appendFrame(buf []byte, m *message.Message) []byte {
+	start := len(buf)
+	var hdr [frameHeader]byte
+	buf = append(buf, hdr[:]...)
+	buf = message.Encode(buf, m)
+	payload := buf[start+frameHeader:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// validPrefix walks the frames of buf, calling fn for each valid payload,
+// and returns the byte length of the longest valid prefix plus whether the
+// walk ended at a torn/corrupt frame (rather than exactly at EOF). fn errors
+// abort the walk and are returned verbatim.
+func validPrefix(buf []byte, fn func(payload []byte) error) (n int64, torn bool, err error) {
+	off := 0
+	for off < len(buf) {
+		if off+frameHeader > len(buf) {
+			return int64(off), true, nil
+		}
+		ln := int(binary.LittleEndian.Uint32(buf[off:]))
+		crc := binary.LittleEndian.Uint32(buf[off+4:])
+		if ln == 0 || off+frameHeader+ln > len(buf) {
+			// Zero-length frames are invalid by construction (an empty
+			// payload cannot decode), which also rejects preallocated
+			// zero regions.
+			return int64(off), true, nil
+		}
+		payload := buf[off+frameHeader : off+frameHeader+ln]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return int64(off), true, nil
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return int64(off), false, err
+			}
+		}
+		off += frameHeader + ln
+	}
+	return int64(off), false, nil
+}
+
+// Stats is a point-in-time aggregate of a log's (or a whole Store's) write
+// activity. FsyncsPerTxn in benchmarks is Syncs / committed transactions.
+type Stats struct {
+	Appends      uint64 // records appended
+	Syncs        uint64 // fsync calls issued
+	BytesWritten uint64 // bytes handed to the file
+	Segments     uint64 // segment rotations (incl. snapshot marks)
+}
+
+// Log is one core's append-only segmented log. Appends come from the core's
+// delivery goroutine (plus the cold preload path); writes, fsyncs, rotation,
+// and truncation are serialized by an internal writer lock, so the group-
+// commit goroutine and snapshotter never block an append for longer than a
+// buffer swap.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex // guards pending, scratch, closed
+	pending []byte
+	scratch message.Message
+	closed  bool
+
+	wmu   sync.Mutex // serializes file IO: write, sync, rotate, truncate
+	f     *os.File
+	seg   uint64 // active segment number
+	size  int64  // active segment size
+	dirty bool   // bytes written since last fsync
+	spare []byte // drained buffer kept for reuse (wmu)
+
+	appends atomic.Uint64
+	syncs   atomic.Uint64
+	written atomic.Uint64
+	rotates atomic.Uint64
+
+	kickCh   chan struct{}
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+}
+
+// segName formats a segment file name; segment numbers start at 1.
+func segName(n uint64) string { return fmt.Sprintf("seg-%08d.wal", n) }
+
+// parseSeg inverts segName; ok is false for foreign files.
+func parseSeg(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// segments lists the segment numbers present in dir, ascending.
+func segments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range ents {
+		if n, ok := parseSeg(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// ReplayStats reports what openLog recovered from disk.
+type ReplayStats struct {
+	Records   int                 // valid commit records replayed
+	Torn      bool                // replay ended at a torn/corrupt frame
+	Watermark timestamp.Timestamp // max commit timestamp replayed
+}
+
+// openLog opens (creating if needed) the log in dir, replays every valid
+// record through apply in append order, truncates any torn tail, and leaves
+// the log positioned for appending. Segments after a torn frame are
+// discarded: a record may never be replayed while an earlier one is lost.
+func openLog(dir string, opts Options, apply func(m *message.Message) error) (*Log, ReplayStats, error) {
+	opts.fill()
+	var stats ReplayStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, err
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	l := &Log{
+		dir:    dir,
+		opts:   opts,
+		kickCh: make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+
+	active := uint64(1)
+	activeSize := int64(0)
+	for i, seg := range segs {
+		path := filepath.Join(dir, segName(seg))
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, stats, err
+		}
+		n, torn, err := validPrefix(buf, func(payload []byte) error {
+			// A fresh message per frame: apply retains the decoded value
+			// slices (replay loads them into the store), and DecodeInto
+			// reuses buffer capacity across calls on a recycled target.
+			dec := &message.Message{}
+			if err := message.DecodeInto(dec, payload); err != nil {
+				return fmt.Errorf("wal: %s: %w", path, err)
+			}
+			if dec.Type != message.TypeWALRecord {
+				return fmt.Errorf("wal: %s: unexpected record type %v", path, dec.Type)
+			}
+			if err := apply(dec); err != nil {
+				return err
+			}
+			stats.Records++
+			if stats.Watermark.Less(dec.TS) {
+				stats.Watermark = dec.TS
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+		active, activeSize = seg, n
+		if torn {
+			stats.Torn = true
+			if err := os.Truncate(path, n); err != nil {
+				return nil, stats, err
+			}
+			// Later segments would replay records past a lost one; drop
+			// them so the log stays a valid prefix of history.
+			for _, later := range segs[i+1:] {
+				if err := os.Remove(filepath.Join(dir, segName(later))); err != nil {
+					return nil, stats, err
+				}
+			}
+			break
+		}
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, segName(active)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, stats, err
+	}
+	l.f, l.seg, l.size = f, active, activeSize
+	go l.run()
+	return l, stats, nil
+}
+
+// AppendCommit appends one committed transaction's record: its identity,
+// read set (for rts advancement on replay), write set, and commit timestamp.
+// Under SyncBatch/SyncNone it returns after buffering (zero allocations
+// steady-state); under SyncAlways it returns only once the record is fsynced.
+func (l *Log) AppendCommit(txn *message.Txn, ts timestamp.Timestamp) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.scratch.Type = message.TypeWALRecord
+	l.scratch.Txn.ID = txn.ID
+	l.scratch.Txn.ReadSet = txn.ReadSet
+	l.scratch.Txn.WriteSet = txn.WriteSet
+	l.scratch.TS = ts
+	l.pending = appendFrame(l.pending, &l.scratch)
+	// Drop the aliases so the log does not pin the transaction's sets
+	// until the next append.
+	l.scratch.Txn.ReadSet = nil
+	l.scratch.Txn.WriteSet = nil
+	high := len(l.pending) >= flushHighWater
+	l.mu.Unlock()
+	l.appends.Add(1)
+
+	if l.opts.Sync == SyncAlways {
+		l.flush(true)
+	} else if high {
+		l.kick()
+	}
+}
+
+// AppendLoad records a bulk-load install (Cluster.Load bypasses the
+// transaction protocol, so its writes need their own durability path).
+func (l *Log) AppendLoad(key string, value []byte, ts timestamp.Timestamp) {
+	txn := message.Txn{WriteSet: []message.WriteSetEntry{{Key: key, Value: value}}}
+	l.AppendCommit(&txn, ts)
+}
+
+// kick wakes the group-commit goroutine ahead of its tick.
+func (l *Log) kick() {
+	select {
+	case l.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+// run is the group-commit goroutine: every GroupCommitInterval (or when
+// kicked by a high-water append) it drains the pending buffer to the active
+// segment and, under SyncBatch, fsyncs — one disk flush covering every
+// commit of the window.
+func (l *Log) run() {
+	defer close(l.doneCh)
+	t := time.NewTicker(l.opts.GroupCommitInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		case <-t.C:
+		case <-l.kickCh:
+		}
+		l.flush(l.opts.Sync == SyncBatch)
+	}
+}
+
+// flush drains the pending buffer into the active segment, optionally
+// fsyncing, and rotates the segment when it exceeds MaxSegmentBytes.
+func (l *Log) flush(sync bool) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	return l.flushWLocked(sync)
+}
+
+// flushWLocked is flush with l.wmu held.
+func (l *Log) flushWLocked(sync bool) error {
+	l.mu.Lock()
+	buf := l.pending
+	if len(buf) > 0 {
+		// Swap in the spare so appends never wait on IO. An empty tick
+		// must NOT swap: it would steal the pending buffer's capacity and
+		// force the next append to reallocate it.
+		l.pending = l.spare[:0]
+		l.spare = nil
+	} else {
+		buf = nil
+	}
+	l.mu.Unlock()
+
+	if l.f == nil {
+		return os.ErrClosed
+	}
+	var err error
+	if len(buf) > 0 {
+		if _, werr := l.f.Write(buf); werr != nil {
+			err = werr
+		} else {
+			l.size += int64(len(buf))
+			l.written.Add(uint64(len(buf)))
+			l.dirty = true
+		}
+	}
+	if sync && l.dirty && err == nil {
+		if serr := l.f.Sync(); serr != nil {
+			err = serr
+		} else {
+			l.dirty = false
+			l.syncs.Add(1)
+		}
+	}
+	if buf != nil && cap(buf) <= maxRetainedBuffer {
+		l.spare = buf[:0]
+	}
+	if err == nil && l.size >= l.opts.MaxSegmentBytes {
+		err = l.rotateWLocked()
+	}
+	return err
+}
+
+// rotateWLocked seals the active segment (fsynced unless SyncNone) and opens
+// the next one. Caller holds l.wmu.
+func (l *Log) rotateWLocked() error {
+	if l.opts.Sync != SyncNone && l.dirty {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.dirty = false
+		l.syncs.Add(1)
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.seg++
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.f = nil
+		return err
+	}
+	l.f, l.size = f, 0
+	l.rotates.Add(1)
+	return nil
+}
+
+// MarkSnapshot flushes pending records and rotates to a fresh segment,
+// returning its number: the first segment replay must consume after the
+// snapshot being taken. Segments below it are deletable once the snapshot
+// is durable (TruncateBefore).
+func (l *Log) MarkSnapshot() (uint64, error) {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if err := l.flushWLocked(l.opts.Sync != SyncNone); err != nil {
+		return l.seg, err
+	}
+	if l.size == 0 {
+		return l.seg, nil // active segment is empty; it is its own mark
+	}
+	if err := l.rotateWLocked(); err != nil {
+		return l.seg, err
+	}
+	return l.seg, nil
+}
+
+// TruncateBefore deletes whole segments numbered below seg — the log-
+// truncation half of the snapshot protocol.
+func (l *Log) TruncateBefore(seg uint64) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	segs, err := segments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, n := range segs {
+		if n >= seg {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(n))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forces pending records to disk (write + fsync) regardless of policy.
+func (l *Log) Flush() error { return l.flush(true) }
+
+// Close gracefully shuts the log down: stop the group-commit goroutine,
+// flush and fsync everything pending, close the file.
+func (l *Log) Close() error {
+	l.stopRun()
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	err := l.flush(true)
+	l.wmu.Lock()
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	l.wmu.Unlock()
+	return err
+}
+
+// Crash simulates a process crash: the user-space pending buffer is dropped
+// (as it would be) and the file is closed without fsync. Bytes already
+// written reach disk at the OS's leisure — the fidelity boundary of an
+// in-process simulation.
+func (l *Log) Crash() {
+	l.stopRun()
+	l.mu.Lock()
+	l.closed = true
+	l.pending = nil
+	l.mu.Unlock()
+	l.wmu.Lock()
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	l.wmu.Unlock()
+}
+
+func (l *Log) stopRun() {
+	l.stopOnce.Do(func() { close(l.stopCh) })
+	<-l.doneCh
+}
+
+// Stats returns the log's cumulative write counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:      l.appends.Load(),
+		Syncs:        l.syncs.Load(),
+		BytesWritten: l.written.Load(),
+		Segments:     l.rotates.Load(),
+	}
+}

@@ -33,6 +33,7 @@ package meerkat
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -45,7 +46,74 @@ import (
 	"meerkat/internal/topo"
 	"meerkat/internal/transport"
 	"meerkat/internal/vstore"
+	"meerkat/internal/wal"
 )
+
+// SyncPolicy selects when the durability layer fsyncs appended commit
+// records; see internal/wal for the exact semantics of each policy.
+type SyncPolicy = wal.SyncPolicy
+
+// Re-exported sync policies, so callers configure durability without
+// importing internal packages.
+const (
+	// SyncBatch groups fsyncs off the commit path (default).
+	SyncBatch = wal.SyncBatch
+	// SyncNone never fsyncs; survives process crashes only.
+	SyncNone = wal.SyncNone
+	// SyncAlways fsyncs inside every commit before it is applied.
+	SyncAlways = wal.SyncAlways
+)
+
+// ParseSyncPolicy parses "none", "batch", or "always" (command-line flags).
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// Durability configures the optional persistence layer: one write-ahead log
+// per replica core (the zero-coordination principle extended to disk — no
+// shared log), group-commit fsync batching, periodic snapshots with log
+// truncation, and crash-restart recovery that replays local state before
+// fetching only the delta from a live replica. The zero value (empty
+// DataDir) disables persistence entirely.
+type Durability struct {
+	// DataDir is the root directory for all replicas' logs and snapshots;
+	// each replica uses the subdirectory "p<partition>-r<index>". Setting
+	// it enables durability.
+	DataDir string
+	// Sync is the fsync policy: SyncBatch (default), SyncNone, SyncAlways.
+	Sync SyncPolicy
+	// GroupCommitInterval is the SyncBatch fsync cadence. Default 2ms.
+	GroupCommitInterval time.Duration
+	// SnapshotInterval is how often each replica snapshots its store and
+	// truncates its logs. Default 30s; negative disables the periodic
+	// snapshotter (logs grow until Snapshot is called another way).
+	SnapshotInterval time.Duration
+	// MaxLogSegment rotates a core's log file beyond this size; snapshot
+	// truncation deletes whole segments. Default 64 MiB.
+	MaxLogSegment int64
+	// DeltaMargin is subtracted from the replayed-log watermark when a
+	// recovering replica asks a donor for the post-crash delta, covering
+	// commits that were applied out of timestamp order around the crash.
+	// The epoch change that follows recovery reconciles in-flight
+	// transactions regardless. Default 10s.
+	DeltaMargin time.Duration
+}
+
+// Enabled reports whether durability is configured.
+func (d *Durability) Enabled() bool { return d.DataDir != "" }
+
+// walOptions translates the validated config into internal/wal options.
+func (d *Durability) walOptions() wal.Options {
+	return wal.Options{
+		Sync:                d.Sync,
+		GroupCommitInterval: d.GroupCommitInterval,
+		SnapshotInterval:    d.SnapshotInterval,
+		MaxSegmentBytes:     d.MaxLogSegment,
+	}
+}
+
+// replicaDir is the durability directory of one replica.
+func (d *Durability) replicaDir(p, r int) string {
+	return filepath.Join(d.DataDir, fmt.Sprintf("p%d-r%d", p, r))
+}
 
 // TransportKind selects the message fabric of a cluster.
 type TransportKind int
@@ -141,6 +209,12 @@ type Config struct {
 	// tolerance. Correctness never depends on it.
 	ClockSkew time.Duration
 
+	// Durability, when its DataDir is set, persists every replica's
+	// committed state: per-core write-ahead logs with the configured
+	// SyncPolicy, periodic snapshots, and crash-restart recovery
+	// (local replay first, then a delta state transfer).
+	Durability Durability
+
 	// Seed makes load-balancing decisions reproducible.
 	Seed int64
 
@@ -156,7 +230,9 @@ type Config struct {
 //
 //	Replicas 3 (must be odd), Cores 4, Partitions 1,
 //	Transport inproc (UDPHost 127.0.0.1, UDPBasePort 29000 when UDP),
-//	CommitTimeout 100ms, Retries 10, BackoffBase 500µs, BackoffMax 50ms.
+//	CommitTimeout 100ms, Retries 10, BackoffBase 500µs, BackoffMax 50ms,
+//	and, with Durability.DataDir set: Sync batch, GroupCommitInterval 2ms,
+//	SnapshotInterval 30s, MaxLogSegment 64MiB, DeltaMargin 10s.
 //
 // It rejects negative knobs, even replica counts, out-of-range fault
 // probabilities, and malformed fault plans. NewCluster calls it, so explicit
@@ -220,6 +296,39 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
+	}
+	if err := c.Durability.validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validate checks and normalizes the durability options. Without a DataDir
+// it only rejects nonsensical values (so a half-filled config fails fast).
+func (d *Durability) validate() error {
+	if d.GroupCommitInterval < 0 || d.DeltaMargin < 0 {
+		return errors.New("meerkat: negative duration in Durability config")
+	}
+	if d.MaxLogSegment < 0 {
+		return fmt.Errorf("meerkat: negative Durability.MaxLogSegment %d", d.MaxLogSegment)
+	}
+	if d.Sync != SyncBatch && d.Sync != SyncNone && d.Sync != SyncAlways {
+		return fmt.Errorf("meerkat: unknown Durability.Sync policy %d", d.Sync)
+	}
+	if !d.Enabled() {
+		return nil
+	}
+	if d.GroupCommitInterval == 0 {
+		d.GroupCommitInterval = 2 * time.Millisecond
+	}
+	if d.SnapshotInterval == 0 {
+		d.SnapshotInterval = 30 * time.Second
+	}
+	if d.MaxLogSegment == 0 {
+		d.MaxLogSegment = 64 << 20
+	}
+	if d.DeltaMargin == 0 {
+		d.DeltaMargin = 10 * time.Second
 	}
 	return nil
 }
@@ -312,8 +421,26 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	for p := 0; p < cfg.Partitions; p++ {
 		group := make([]*replica.Replica, cfg.Replicas)
 		for r := 0; r < cfg.Replicas; r++ {
-			rep, err := c.newReplica(p, r, nil)
+			var store *vstore.Store
+			var w *wal.Store
+			if cfg.Durability.Enabled() {
+				// Open (or create) this replica's durability directory and
+				// replay whatever it holds: a whole-cluster restart comes
+				// back with every committed transaction.
+				var recov *wal.Recovered
+				var err error
+				w, recov, err = wal.Open(cfg.Durability.replicaDir(p, r), cfg.Cores, cfg.Durability.walOptions())
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+				store = recov.Store
+			}
+			rep, err := c.newReplica(p, r, store, w)
 			if err != nil {
+				if w != nil {
+					w.Close()
+				}
 				c.Close()
 				return nil, err
 			}
@@ -331,13 +458,14 @@ func maxInt(a, b int) int {
 	return b
 }
 
-func (c *Cluster) newReplica(p, r int, store *vstore.Store) (*replica.Replica, error) {
+func (c *Cluster) newReplica(p, r int, store *vstore.Store, w *wal.Store) (*replica.Replica, error) {
 	rep, err := replica.New(replica.Config{
 		Topo:                 c.topo,
 		Partition:            p,
 		Index:                r,
 		Net:                  c.net,
 		Store:                store,
+		WAL:                  w,
 		SharedRecord:         c.cfg.SharedTRecord,
 		SweepInterval:        c.cfg.SweepInterval,
 		StaleAfter:           c.cfg.StaleAfter,
@@ -354,7 +482,9 @@ func (c *Cluster) newReplica(p, r int, store *vstore.Store) (*replica.Replica, e
 }
 
 // Load installs key=value on every replica, bypassing the transaction
-// protocol. Use it to pre-load a database before serving traffic.
+// protocol. Use it to pre-load a database before serving traffic. With
+// durability enabled the load is logged, so preloaded data survives
+// restarts like committed writes do.
 func (c *Cluster) Load(key string, value []byte) {
 	ts := timestamp.Timestamp{Time: 1, ClientID: 0}
 	c.mu.Lock()
@@ -362,12 +492,17 @@ func (c *Cluster) Load(key string, value []byte) {
 	p := c.topo.PartitionForKey(key)
 	for _, rep := range c.replicas[p] {
 		if rep != nil {
-			rep.Store().Load(key, value, ts)
+			rep.Load(key, value, ts)
 		}
 	}
 }
 
-// Close shuts the cluster down.
+// Close shuts the cluster down. With durability enabled it first drains each
+// partition with an epoch change — the merge finalizes every transaction the
+// group had acknowledged but not yet applied, writing it to the logs — and
+// then stops every replica gracefully, which flushes and fsyncs all core
+// logs. A durable cluster closed this way reopens with zero committed-
+// transaction loss.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -377,6 +512,13 @@ func (c *Cluster) Close() {
 	c.closed = true
 	reps := c.replicas
 	c.mu.Unlock()
+	if c.cfg.Durability.Enabled() {
+		for p := 0; p < c.cfg.Partitions; p++ {
+			// Best-effort: without a quorum (mid-chaos shutdown) in-flight
+			// transactions stay in-flight; committed state is already logged.
+			c.EpochChange(p)
+		}
+	}
 	for _, group := range reps {
 		for _, rep := range group {
 			if rep != nil {
@@ -389,24 +531,30 @@ func (c *Cluster) Close() {
 	}
 }
 
-// CrashReplica stops replica r of partition p, simulating a crash: its
-// endpoints close and in-flight messages to it are dropped. The cluster
-// keeps serving as long as a majority of each group survives (transactions
-// fall back to the slow path once a fast quorum is unreachable).
+// CrashReplica stops replica r of partition p, simulating a process crash:
+// its endpoints close, in-flight messages to it are dropped, and — with
+// durability enabled — its write-ahead logs are abandoned without a final
+// flush, exactly as a killed process would leave them. The cluster keeps
+// serving as long as a majority of each group survives (transactions fall
+// back to the slow path once a fast quorum is unreachable).
 func (c *Cluster) CrashReplica(p, r int) {
 	c.mu.Lock()
 	rep := c.replicas[p][r]
 	c.replicas[p][r] = nil
 	c.mu.Unlock()
 	if rep != nil {
-		rep.Stop()
+		rep.Crash()
 	}
 }
 
-// RecoverReplica brings replica r of partition p back, per §5.3.1: the
-// replica restarts without its previous state, copies committed storage
-// from a live replica, and an epoch change reconciles the trecords so all
-// replicas agree on every in-flight transaction's outcome.
+// RecoverReplica brings replica r of partition p back. Without durability
+// the replica restarts without state and copies the donor's whole committed
+// store, per §5.3.1. With durability it first reopens its data directory and
+// replays the local snapshot + logs, then fetches only the delta — keys the
+// donor saw change after the replayed watermark (minus Durability.
+// DeltaMargin, covering out-of-timestamp-order applies). Either way the
+// epoch change that follows reconciles every in-flight transaction, so the
+// rejoined replica is exactly consistent with the group.
 func (c *Cluster) RecoverReplica(p, r int) error {
 	c.mu.Lock()
 	if c.replicas[p][r] != nil {
@@ -425,22 +573,56 @@ func (c *Cluster) RecoverReplica(p, r int) error {
 		return errors.New("meerkat: no live replica to recover from")
 	}
 
-	// State transfer over the wire (shard-paginated), then rejoin; the
-	// epoch change below reconciles any in-flight transactions.
-	store := vstore.New(vstore.Config{})
+	// Local replay first (durable clusters), then state transfer over the
+	// wire (shard-paginated, delta-filtered); the epoch change below
+	// reconciles any in-flight transactions.
+	var store *vstore.Store
+	var w *wal.Store
+	var since timestamp.Timestamp
+	if c.cfg.Durability.Enabled() {
+		var recov *wal.Recovered
+		var err error
+		w, recov, err = wal.Open(c.cfg.Durability.replicaDir(p, r), c.cfg.Cores, c.cfg.Durability.walOptions())
+		if err != nil {
+			return err
+		}
+		store = recov.Store
+		if margin := c.cfg.Durability.DeltaMargin.Nanoseconds(); recov.Watermark.Time > margin {
+			since = timestamp.Timestamp{Time: recov.Watermark.Time - margin}
+		}
+	} else {
+		store = vstore.New(vstore.Config{})
+	}
 	if err := recovery.SyncStoreRemote(c.net, c.topo, p, donor, store, recovery.Options{
 		Timeout: c.cfg.CommitTimeout * 5,
+		Since:   since,
 	}); err != nil {
+		if w != nil {
+			w.Close()
+		}
 		return err
 	}
-	rep, err := c.newReplica(p, r, store)
+	rep, err := c.newReplica(p, r, store, w)
 	if err != nil {
+		if w != nil {
+			w.Close()
+		}
 		return err
 	}
 	c.mu.Lock()
 	c.replicas[p][r] = rep
 	c.mu.Unlock()
-	return c.EpochChange(p)
+	if err := c.EpochChange(p); err != nil {
+		return err
+	}
+	if w != nil {
+		// Best-effort snapshot: the delta just fetched lives only in memory
+		// until a snapshot covers it; taking one now makes the recovery
+		// itself durable (failure is fine — the next crash simply fetches
+		// the delta again).
+		go w.Snapshot(rep.Store())
+	}
+	return nil
 }
 
 // EpochChange runs the epoch change protocol on partition p, pausing the
@@ -510,6 +692,31 @@ type UDPNetStats struct {
 
 // Syscalls returns total socket syscalls issued.
 func (s UDPNetStats) Syscalls() uint64 { return s.SendSyscalls + s.RecvSyscalls }
+
+// WALStats aggregates durability counters (record appends, fsyncs, bytes,
+// segment rotations) across all live replicas; ok is false when durability
+// is disabled. Fsyncs per committed transaction in a benchmark window is
+// Syncs / committed count.
+func (c *Cluster) WALStats() (s wal.Stats, ok bool) {
+	if !c.cfg.Durability.Enabled() {
+		return s, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, group := range c.replicas {
+		for _, rep := range group {
+			if rep == nil || rep.WAL() == nil {
+				continue
+			}
+			st := rep.WAL().Stats()
+			s.Appends += st.Appends
+			s.Syncs += st.Syncs
+			s.BytesWritten += st.BytesWritten
+			s.Segments += st.Segments
+		}
+	}
+	return s, true
+}
 
 // UDPStats reports socket-level counters; ok is false unless the cluster
 // runs on TransportUDP. Counters survive Cluster.Close, so post-run scrapes
