@@ -97,6 +97,9 @@ func main() {
 		reg.RegisterGauge("wal_appends", func() uint64 { return w.Stats().Appends })
 		reg.RegisterGauge("wal_syncs", func() uint64 { return w.Stats().Syncs })
 		reg.RegisterGauge("wal_bytes_written", func() uint64 { return w.Stats().BytesWritten })
+		// Non-zero means disk IO has failed at least once; alert on it —
+		// records are retained and retried, but durability is degraded.
+		reg.RegisterGauge("wal_failures", func() uint64 { return w.Stats().Failures })
 	}
 
 	rep, err := replica.New(replica.Config{

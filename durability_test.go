@@ -2,8 +2,13 @@ package meerkat
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/wal"
 )
 
 // durableConfig is the base cluster config for durability tests: small core
@@ -180,6 +185,93 @@ func TestDurableSnapshotRestart(t *testing.T) {
 		if err != nil || string(v) != string(dval(i)) {
 			t.Fatalf("after snapshot+restart %s = %q, %v; want %q", dkey(i), v, err, dval(i))
 		}
+	}
+}
+
+// TestDurableBootReconcile pins the whole-cluster-restart reconciliation:
+// after a non-graceful crash under SyncBatch each replica loses a different
+// unfsynced log suffix, so the replayed stores diverge. NewCluster must
+// union-merge the group's stores before serving traffic, or single-replica
+// reads would return inconsistent values for acknowledged writes. The test
+// constructs the divergent directories directly — each replica's log holds a
+// common record plus one record only it retained.
+func TestDurableBootReconcile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	tsAt := func(n int64) timestamp.Timestamp { return timestamp.Timestamp{Time: n, ClientID: 1} }
+	for r := 0; r < cfg.Replicas; r++ {
+		w, _, err := wal.Open(filepath.Join(dir, fmt.Sprintf("p0-r%d", r)), cfg.Cores, wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		common := message.Txn{
+			ID:       timestamp.TxnID{Seq: 1, ClientID: 1},
+			WriteSet: []message.WriteSetEntry{{Key: "common", Value: []byte("c")}},
+		}
+		w.Log(0).AppendCommit(&common, tsAt(50))
+		only := message.Txn{
+			ID:       timestamp.TxnID{Seq: uint64(10 + r), ClientID: 1},
+			WriteSet: []message.WriteSetEntry{{Key: fmt.Sprintf("only%d", r), Value: []byte("v")}},
+		}
+		w.Log(0).AppendCommit(&only, tsAt(int64(100+r)))
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for r := 0; r < cfg.Replicas; r++ {
+		store := c.replicaAt(0, r).Store()
+		for _, key := range []string{"common", "only0", "only1", "only2"} {
+			if v, ok := store.Read(key); !ok || len(v.Value) == 0 {
+				t.Fatalf("replica %d missing %q after boot reconcile (ok=%v)", r, key, ok)
+			}
+		}
+	}
+}
+
+// TestDurableOldTimestampDelta pins the wall-clock delta axis: a commit
+// applied on the donors during the outage with a timestamp far older than
+// any TS margin (the sweeper/backup-coordinator case — finalization long
+// after timestamp assignment) must still reach the recovering replica, or it
+// would permanently serve stale data for that key.
+func TestDurableOldTimestampDelta(t *testing.T) {
+	c := newTestCluster(t, durableConfig(t.TempDir()))
+	cl := newTestClient(t, c)
+
+	for i := 0; i < 20; i++ {
+		if err := cl.Put(dkey(i), dval(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// Let the group commit fsync so the crashed replica replays a recent
+	// watermark (forcing the TS delta filter to actually filter).
+	time.Sleep(20 * time.Millisecond)
+	c.CrashReplica(0, 1)
+
+	// During the outage, the live replicas apply a commit whose timestamp is
+	// an hour old — far beyond DeltaMargin, so the TS filter alone would
+	// never ship it.
+	oldTS := timestamp.Timestamp{Time: time.Now().Add(-time.Hour).UnixNano(), ClientID: 99}
+	for _, r := range []int{0, 2} {
+		c.replicaAt(0, r).Store().CommitWrite("stale-sweep", []byte("late"), oldTS)
+	}
+
+	if err := c.RecoverReplica(0, 1); err != nil {
+		t.Fatalf("RecoverReplica: %v", err)
+	}
+	v, ok := c.replicaAt(0, 1).Store().Read("stale-sweep")
+	if !ok || string(v.Value) != "late" || v.WTS != oldTS {
+		t.Fatalf("recovered replica has stale-sweep = %q@%v ok=%v, want %q@%v",
+			v.Value, v.WTS, ok, "late", oldTS)
 	}
 }
 

@@ -56,7 +56,11 @@ const (
 	TypeEpochChangeCompleteAck // replica core -> recovery coordinator
 	TypeSweep                  // core -> itself: scan for stalled txns
 
-	// Replica state transfer (recovery, §5.3.1).
+	// Replica state transfer (recovery, §5.3.1). A StateRequest paginates by
+	// shard in Seq and carries two optional delta bounds: TS (ship keys whose
+	// WTS/RTS passed it) and — reusing the otherwise-unused View field as a
+	// UnixNano wall clock — the donor-side apply-time bound (ship keys whose
+	// commit the donor applied at or after it).
 	TypeStateRequest // recovering replica -> live replica: one shard
 	TypeStateReply   // live replica -> recovering replica
 

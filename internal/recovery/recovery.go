@@ -45,6 +45,13 @@ type Options struct {
 	// replayed its local write-ahead log uses. Zero (the default) transfers
 	// everything.
 	Since timestamp.Timestamp
+	// SinceWall (UnixNano, 0 = disabled) widens the delta along a second
+	// axis: donors also ship keys whose commit they applied at or after this
+	// local wall-clock instant, regardless of the commit's timestamp. It
+	// covers transactions finalized late with old timestamps (sweeper or
+	// backup-coordinator outcomes) that a pure TS filter would miss. Pass
+	// the moment the recovering replica went down, minus clock-skew slack.
+	SinceWall int64
 }
 
 func (o *Options) fill() {
@@ -376,7 +383,12 @@ func SyncStoreRemote(net transport.Network, t topo.Topology, p, from int, dst *v
 	for shard := uint64(0); ; {
 		got := false
 		for attempt := 0; attempt <= opts.Retries && !got; attempt++ {
-			ep.Send(donor, &message.Message{Type: message.TypeStateRequest, Seq: shard, TS: opts.Since})
+			// View carries the wall-clock bound: unused by TypeStateRequest
+			// otherwise, so this adds nothing to the wire format.
+			ep.Send(donor, &message.Message{
+				Type: message.TypeStateRequest, Seq: shard,
+				TS: opts.Since, View: uint64(opts.SinceWall),
+			})
 			deadline := time.NewTimer(opts.Timeout)
 		wait:
 			for {

@@ -156,6 +156,12 @@ func New(cfg Config) (*Replica, error) {
 		}
 		if cfg.WAL != nil {
 			cc.log = cfg.WAL.Log(c)
+			// The apply hook runs inside AppendCommit's critical section:
+			// appending and applying atomically is what makes snapshot log
+			// truncation safe (see finalize and wal.Store.Snapshot).
+			cc.log.SetApply(func(txn *message.Txn, ts timestamp.Timestamp) {
+				occ.ApplyCommit(st, txn, ts)
+			})
 		}
 		r.cores = append(r.cores, cc)
 	}
@@ -271,11 +277,14 @@ func (r *Replica) shutdown(crash bool) {
 }
 
 // Load installs an initial version of key, bypassing concurrency control
-// (bulk-loading before a run). With durability enabled the load is also
-// appended to core 0's log so preloaded data survives a restart.
+// (bulk-loading before a run). With durability enabled the load goes through
+// core 0's log, whose apply hook installs the version — appending and
+// applying atomically, so a concurrent snapshot cannot truncate the load
+// record before the export observes it.
 func (r *Replica) Load(key string, value []byte, ts timestamp.Timestamp) {
 	if r.cfg.WAL != nil {
 		r.cfg.WAL.Log(0).AppendLoad(key, value, ts)
+		return
 	}
 	r.store.Load(key, value, ts)
 }
@@ -343,10 +352,13 @@ func (c *core) handle(m *message.Message) {
 // shard index in Seq; OK reports whether more shards remain. TS, when
 // non-zero, is a delta watermark: only keys written or read after it are
 // shipped, so a replica that replayed its local write-ahead log fetches a
-// fraction of the store.
+// fraction of the store. View, when non-zero, carries a second, wall-clock
+// bound (UnixNano): also ship keys whose commit was applied on this donor
+// at or after it, which covers commits finalized late with old timestamps
+// (sweeper / backup-coordinator outcomes) that the TS filter would miss.
 func (c *core) handleStateRequest(m *message.Message) {
 	shard := int(m.Seq)
-	exported := c.r.store.ExportShardSince(shard, m.TS)
+	exported := c.r.store.ExportShardSince(shard, m.TS, int64(m.View))
 	state := make([]message.KeyState, 0, len(exported))
 	for _, ks := range exported {
 		state = append(state, message.KeyState{
@@ -503,36 +515,33 @@ func (c *core) handleCommit(m *message.Message) {
 	c.unlockRecords()
 }
 
-// finalize moves rec to final status st, appending a commit record to this
-// core's write-ahead log first — write-ahead ordering: the record must be
-// durable (or at least buffered for the group commit, per the SyncPolicy)
-// before its effects become observable in the store. Only commits are
-// logged; aborts leave no observable state, so replay needs nothing from
-// them. Reports whether it transitioned the record.
+// finalize moves rec to final status st and applies (commit) or backs out
+// (abort) its effects in the store. Idempotent: a record already final is
+// left untouched. Reports whether it transitioned the record (so callers can
+// count applies exactly once).
+//
+// With durability enabled, a commit goes through AppendCommit, whose apply
+// hook (wired in New) installs the effects inside the log's own critical
+// section — write-ahead ordering (the record is buffered, or fsynced under
+// SyncAlways, before its effects become observable) AND atomicity against
+// the snapshot mark (a pre-mark segment can never be truncated while it
+// holds the only copy of a record the store export has not yet observed).
+// Only commits are logged; aborts leave no observable state, so replay needs
+// nothing from them.
 func (c *core) finalize(rec *trecord.Record, st message.Status) bool {
-	if rec.Status.Final() {
-		return false
-	}
-	if st == message.StatusCommitted && c.log != nil {
-		c.log.AppendCommit(&rec.Txn, rec.TS)
-	}
-	return finalizeRecord(c.r.store, rec, st)
-}
-
-// finalizeRecord moves rec to final status st and applies the write phase.
-// Idempotent: a record already final is left untouched. Reports whether it
-// transitioned the record (so callers can count applies exactly once).
-func finalizeRecord(store *vstore.Store, rec *trecord.Record, st message.Status) bool {
 	if rec.Status.Final() {
 		return false
 	}
 	wasRegistered := rec.Registered
 	rec.Registered = false
 	rec.Status = st
-	if st == message.StatusCommitted {
-		occ.ApplyCommit(store, &rec.Txn, rec.TS)
-	} else if wasRegistered {
-		occ.ApplyAbort(store, &rec.Txn, rec.TS)
+	switch {
+	case st == message.StatusCommitted && c.log != nil:
+		c.log.AppendCommit(&rec.Txn, rec.TS)
+	case st == message.StatusCommitted:
+		occ.ApplyCommit(c.r.store, &rec.Txn, rec.TS)
+	case wasRegistered:
+		occ.ApplyAbort(c.r.store, &rec.Txn, rec.TS)
 	}
 	return true
 }

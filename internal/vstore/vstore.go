@@ -25,6 +25,7 @@ package vstore
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"meerkat/internal/timestamp"
 )
@@ -100,6 +101,14 @@ type entry struct {
 	rts      timestamp.Timestamp
 	readers  tsSet
 	writers  tsSet
+
+	// appliedAt is the local wall clock (UnixNano) of the last committed
+	// mutation of this entry — version install, rts advance, or load. It is
+	// deliberately NOT the transaction timestamp: a transaction finalized via
+	// the sweeper or a backup coordinator can commit with a TS assigned long
+	// before, and delta state transfer must still ship it to a replica that
+	// was down when the commit was applied. See ExportShardSince.
+	appliedAt int64
 }
 
 // wtsLocked returns the latest committed write timestamp (Zero if none).
@@ -306,6 +315,7 @@ func (s *Store) CommitRead(key string, ts timestamp.Timestamp) {
 	e.mu.Lock()
 	if e.rts.Less(ts) {
 		e.rts = ts
+		e.appliedAt = time.Now().UnixNano()
 	}
 	e.readers.remove(ts)
 	e.mu.Unlock()
@@ -339,6 +349,7 @@ func (e *entry) installLocked(value []byte, ts timestamp.Timestamp, maxVersions 
 		e.versions = e.versions[:n]
 	}
 	e.latest.Store(&Version{Value: value, WTS: ts})
+	e.appliedAt = time.Now().UnixNano()
 }
 
 // Pending reports the sizes of the key's pending reader and writer sets.
@@ -425,14 +436,24 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // transfer. Pending readers/writers are deliberately excluded: in-flight
 // transactions are reconciled by the epoch change that follows a transfer.
 func (s *Store) ExportShard(i int) []KeyState {
-	return s.ExportShardSince(i, timestamp.Timestamp{})
+	return s.ExportShardSince(i, timestamp.Timestamp{}, 0)
 }
 
 // ExportShardSince is ExportShard restricted to keys whose committed state
-// changed after since — written (WTS) or read (RTS) past it. A recovering
-// replica that already replayed a local snapshot+log uses it to fetch only
-// the delta; a zero since exports everything (any committed WTS is > Zero).
-func (s *Store) ExportShardSince(i int, since timestamp.Timestamp) []KeyState {
+// changed after a bound, along either of two axes:
+//
+//   - since (transaction time): the key was written (WTS) or read (RTS) past
+//     it. A recovering replica that replayed a local snapshot+log passes its
+//     watermark minus a margin to fetch only the recent-TS delta.
+//   - sinceWall (local wall clock, UnixNano, 0 = disabled): the key's last
+//     committed mutation was applied on THIS store at or after sinceWall.
+//     This catches commits whose TS predates any reasonable margin — e.g. a
+//     transaction finalized by the sweeper or a backup coordinator long
+//     after its TS was assigned — as long as the donor applied them while
+//     the requester was down.
+//
+// A key passing either filter is exported; zero bounds export everything.
+func (s *Store) ExportShardSince(i int, since timestamp.Timestamp, sinceWall int64) []KeyState {
 	if i < 0 || i >= len(s.shards) {
 		return nil
 	}
@@ -442,7 +463,7 @@ func (s *Store) ExportShardSince(i int, since timestamp.Timestamp) []KeyState {
 		e.mu.Lock()
 		if len(e.versions) > 0 {
 			lv := e.versions[len(e.versions)-1]
-			if since.Less(lv.WTS) || since.Less(e.rts) {
+			if since.Less(lv.WTS) || since.Less(e.rts) || (sinceWall > 0 && e.appliedAt >= sinceWall) {
 				out = append(out, KeyState{Key: k.(string), Value: lv.Value, WTS: lv.WTS, RTS: e.rts})
 			}
 		}

@@ -194,9 +194,15 @@ func (s *Store) Dir() string { return s.dir }
 // Snapshot serializes vs's committed state to a new snapshot file and
 // truncates the logs behind it. The protocol, in crash-safe order:
 //
-//  1. Mark: flush + rotate every core's log to a fresh segment. Records
-//     committed before the mark may still land in the snapshot (export is
-//     live), which is fine — replaying them over it is idempotent.
+//  1. Mark: flush + rotate every core's log to a fresh segment. Every record
+//     a mark flushes into a pre-mark segment has already had its effects
+//     applied to the store (AppendCommit holds the record in the pending
+//     buffer until the apply hook has run, and the SyncAlways path applies
+//     before releasing the writer lock the mark needs), so the step-2 export
+//     is guaranteed to see it: truncating pre-mark segments in step 4 never
+//     deletes a record's only copy. The export being live also means records
+//     committed AFTER the mark may land in the snapshot — fine, replaying
+//     their post-mark frames over it is idempotent.
 //  2. Export every vstore shard into CRC-framed TypeWALSnapshot pages,
 //     written to a temp file, fsynced, renamed into place, dir fsynced.
 //  3. Atomically replace the MANIFEST (temp + rename + dir fsync). This is
@@ -427,6 +433,18 @@ func (s *Store) Stats() Stats {
 		out.Syncs += st.Syncs
 		out.BytesWritten += st.BytesWritten
 		out.Segments += st.Segments
+		out.Failures += st.Failures
 	}
 	return out
+}
+
+// Err returns the most recent IO error any core's log has hit, or nil if the
+// store has never failed a write, fsync, or rotation. Sticky — see Log.Err.
+func (s *Store) Err() error {
+	for _, l := range s.logs {
+		if err := l.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

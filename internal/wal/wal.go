@@ -156,14 +156,18 @@ func validPrefix(buf []byte, fn func(payload []byte) error) (n int64, torn bool,
 		if off+frameHeader > len(buf) {
 			return int64(off), true, nil
 		}
-		ln := int(binary.LittleEndian.Uint32(buf[off:]))
+		// The length is bounds-checked in uint64 space: on 32-bit platforms a
+		// corrupt length >= 2^31 must end replay as a torn tail, not convert
+		// to a negative int and slip past the check into a slicing panic.
+		ln64 := uint64(binary.LittleEndian.Uint32(buf[off:]))
 		crc := binary.LittleEndian.Uint32(buf[off+4:])
-		if ln == 0 || off+frameHeader+ln > len(buf) {
+		if ln64 == 0 || ln64 > uint64(len(buf)-off-frameHeader) {
 			// Zero-length frames are invalid by construction (an empty
 			// payload cannot decode), which also rejects preallocated
 			// zero regions.
 			return int64(off), true, nil
 		}
+		ln := int(ln64)
 		payload := buf[off+frameHeader : off+frameHeader+ln]
 		if crc32.Checksum(payload, castagnoli) != crc {
 			return int64(off), true, nil
@@ -180,11 +184,15 @@ func validPrefix(buf []byte, fn func(payload []byte) error) (n int64, torn bool,
 
 // Stats is a point-in-time aggregate of a log's (or a whole Store's) write
 // activity. FsyncsPerTxn in benchmarks is Syncs / committed transactions.
+// A non-zero Failures means disk IO has failed at least once: buffered
+// records are retained and retried, but durability is degraded until the
+// count stops advancing (see Log.Err for the latest error).
 type Stats struct {
 	Appends      uint64 // records appended
 	Syncs        uint64 // fsync calls issued
 	BytesWritten uint64 // bytes handed to the file
 	Segments     uint64 // segment rotations (incl. snapshot marks)
+	Failures     uint64 // write/fsync/rotate errors (sticky signal, see Err)
 }
 
 // Log is one core's append-only segmented log. Appends come from the core's
@@ -196,10 +204,17 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu      sync.Mutex // guards pending, scratch, closed
+	mu      sync.Mutex // guards pending, scratch, closed, apply ordering
 	pending []byte
 	scratch message.Message
 	closed  bool
+
+	// apply, when set (SetApply), is invoked by AppendCommit to install the
+	// record's effects in the versioned store, atomically with the append
+	// with respect to the group-commit drain. This pairing is what makes
+	// snapshot truncation safe: a record can never sit in a pre-snapshot-mark
+	// segment with its effects not yet visible to the snapshot's export.
+	apply func(txn *message.Txn, ts timestamp.Timestamp)
 
 	wmu   sync.Mutex // serializes file IO: write, sync, rotate, truncate
 	f     *os.File
@@ -208,10 +223,14 @@ type Log struct {
 	dirty bool   // bytes written since last fsync
 	spare []byte // drained buffer kept for reuse (wmu)
 
-	appends atomic.Uint64
-	syncs   atomic.Uint64
-	written atomic.Uint64
-	rotates atomic.Uint64
+	appends  atomic.Uint64
+	syncs    atomic.Uint64
+	written  atomic.Uint64
+	rotates  atomic.Uint64
+	failures atomic.Uint64
+
+	errMu   sync.Mutex
+	lastErr error // latest IO failure (sticky until read via Err)
 
 	kickCh   chan struct{}
 	stopCh   chan struct{}
@@ -337,16 +356,90 @@ func openLog(dir string, opts Options, apply func(m *message.Message) error) (*L
 	return l, stats, nil
 }
 
-// AppendCommit appends one committed transaction's record: its identity,
-// read set (for rts advancement on replay), write set, and commit timestamp.
-// Under SyncBatch/SyncNone it returns after buffering (zero allocations
-// steady-state); under SyncAlways it returns only once the record is fsynced.
-func (l *Log) AppendCommit(txn *message.Txn, ts timestamp.Timestamp) {
+// SetApply registers the function AppendCommit uses to install a record's
+// effects in the versioned store. Set it once, before the first append (the
+// replica wires it at construction); a nil apply leaves AppendCommit as a
+// pure append, for tests and tools that replay by hand.
+func (l *Log) SetApply(fn func(txn *message.Txn, ts timestamp.Timestamp)) {
 	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+	l.apply = fn
+	l.mu.Unlock()
+}
+
+// AppendCommit appends one committed transaction's record — its identity,
+// read set (for rts advancement on replay), write set, and commit timestamp —
+// and, when an apply function is registered, installs the record's effects in
+// the versioned store before returning. Under SyncBatch/SyncNone it returns
+// after buffering (zero allocations steady-state); under SyncAlways only once
+// the record is fsynced (write-ahead order: durable before observable).
+//
+// The append and the apply are atomic with respect to the group-commit drain
+// and the snapshot mark: a record is never moved into a segment the snapshot
+// protocol may truncate while its effects are still invisible to the store
+// export. Without this pairing a snapshot could flush the record into a
+// pre-mark segment, export the store before the apply lands, and then
+// truncate the record's only durable copy — permanently losing a committed
+// transaction. On IO failure the apply still runs (the in-memory protocol
+// must proceed); the error is latched (Err, Stats.Failures) and the frames
+// are retained for retry.
+func (l *Log) AppendCommit(txn *message.Txn, ts timestamp.Timestamp) {
+	if l.opts.Sync == SyncAlways {
+		l.appendCommitSync(txn, ts)
 		return
 	}
+	l.mu.Lock()
+	appended := false
+	if !l.closed {
+		l.encodeLocked(txn, ts)
+		appended = true
+	}
+	// Apply inside the same critical section the drain swaps buffers under
+	// (see the comment on the apply field). A record arriving after Close
+	// is not logged but is still applied, so the store never diverges from
+	// the trecord during shutdown races.
+	if l.apply != nil {
+		l.apply(txn, ts)
+	}
+	high := len(l.pending) >= flushHighWater
+	l.mu.Unlock()
+	if appended {
+		l.appends.Add(1)
+		if high {
+			l.kick()
+		}
+	}
+}
+
+// appendCommitSync is the SyncAlways path: encode, write+fsync, then apply,
+// all under the writer lock so the snapshot mark (which also takes it) can
+// never observe the record on disk with its effects missing from the store.
+func (l *Log) appendCommitSync(txn *message.Txn, ts timestamp.Timestamp) {
+	l.wmu.Lock()
+	l.mu.Lock()
+	appended := !l.closed
+	if appended {
+		l.encodeLocked(txn, ts)
+	}
+	apply := l.apply // read under mu; invoked below without it (see field doc)
+	l.mu.Unlock()
+	if appended {
+		// Errors are latched by flushWLocked; the commit proceeds regardless
+		// (degraded durability is surfaced via Err/Stats, not by stalling
+		// the replica).
+		l.flushWLocked(true)
+	}
+	if apply != nil {
+		apply(txn, ts)
+	}
+	l.wmu.Unlock()
+	if appended {
+		l.appends.Add(1)
+	}
+}
+
+// encodeLocked frames one commit record into the pending buffer. Caller
+// holds l.mu.
+func (l *Log) encodeLocked(txn *message.Txn, ts timestamp.Timestamp) {
 	l.scratch.Type = message.TypeWALRecord
 	l.scratch.Txn.ID = txn.ID
 	l.scratch.Txn.ReadSet = txn.ReadSet
@@ -357,15 +450,6 @@ func (l *Log) AppendCommit(txn *message.Txn, ts timestamp.Timestamp) {
 	// until the next append.
 	l.scratch.Txn.ReadSet = nil
 	l.scratch.Txn.WriteSet = nil
-	high := len(l.pending) >= flushHighWater
-	l.mu.Unlock()
-	l.appends.Add(1)
-
-	if l.opts.Sync == SyncAlways {
-		l.flush(true)
-	} else if high {
-		l.kick()
-	}
 }
 
 // AppendLoad records a bulk-load install (Cluster.Load bypasses the
@@ -410,7 +494,11 @@ func (l *Log) flush(sync bool) error {
 	return l.flushWLocked(sync)
 }
 
-// flushWLocked is flush with l.wmu held.
+// flushWLocked is flush with l.wmu held. IO failures never drop records:
+// unwritten bytes are requeued ahead of newer appends (the next tick — or an
+// explicit Flush — retries) and the error is latched so callers that ignore
+// the return value still leave a sticky, observable signal (Err,
+// Stats.Failures) instead of silently acknowledging lost durability.
 func (l *Log) flushWLocked(sync bool) error {
 	l.mu.Lock()
 	buf := l.pending
@@ -426,20 +514,33 @@ func (l *Log) flushWLocked(sync bool) error {
 	l.mu.Unlock()
 
 	if l.f == nil {
+		// Closed, or a failed rotation left no active segment: keep the
+		// drained records queued so a later flush can still write them.
+		l.requeue(buf, 0)
 		return os.ErrClosed
 	}
-	var err error
 	if len(buf) > 0 {
-		if _, werr := l.f.Write(buf); werr != nil {
-			err = werr
-		} else {
-			l.size += int64(len(buf))
-			l.written.Add(uint64(len(buf)))
+		n, werr := l.f.Write(buf)
+		if n > 0 {
+			l.size += int64(n)
+			l.written.Add(uint64(n))
 			l.dirty = true
 		}
+		if werr != nil {
+			// Requeue the unwritten tail. A short write may end mid-frame;
+			// the segment is append-only, so the requeued bytes complete
+			// that frame on the next successful flush.
+			l.requeue(buf, n)
+			l.fail(werr)
+			return werr
+		}
 	}
-	if sync && l.dirty && err == nil {
+	var err error
+	if sync && l.dirty {
 		if serr := l.f.Sync(); serr != nil {
+			// The frames are in the file (dirty stays true); the next
+			// syncing flush retries the fsync.
+			l.fail(serr)
 			err = serr
 		} else {
 			l.dirty = false
@@ -450,9 +551,47 @@ func (l *Log) flushWLocked(sync bool) error {
 		l.spare = buf[:0]
 	}
 	if err == nil && l.size >= l.opts.MaxSegmentBytes {
-		err = l.rotateWLocked()
+		if err = l.rotateWLocked(); err != nil {
+			l.fail(err)
+		}
 	}
 	return err
+}
+
+// requeue puts the unwritten suffix buf[n:] of a drained buffer back at the
+// FRONT of pending, preserving record order relative to appends that arrived
+// during the failed flush. Error path only; the copy is deliberate (buf may
+// be retained as the spare).
+func (l *Log) requeue(buf []byte, n int) {
+	if n >= len(buf) {
+		return
+	}
+	rest := buf[n:]
+	l.mu.Lock()
+	np := make([]byte, 0, len(rest)+len(l.pending))
+	np = append(np, rest...)
+	np = append(np, l.pending...)
+	l.pending = np
+	l.mu.Unlock()
+}
+
+// fail latches an IO error: Failures counts every occurrence, lastErr keeps
+// the most recent one for Err.
+func (l *Log) fail(err error) {
+	l.failures.Add(1)
+	l.errMu.Lock()
+	l.lastErr = err
+	l.errMu.Unlock()
+}
+
+// Err returns the most recent IO error the log has hit (write, fsync, or
+// rotate), or nil if none ever occurred. The error is sticky: a log that
+// failed once stays reportable even after later flushes succeed, because
+// records acknowledged during the failure window may not be durable.
+func (l *Log) Err() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.lastErr
 }
 
 // rotateWLocked seals the active segment (fsynced unless SyncNone) and opens
@@ -570,5 +709,6 @@ func (l *Log) Stats() Stats {
 		Syncs:        l.syncs.Load(),
 		BytesWritten: l.written.Load(),
 		Segments:     l.rotates.Load(),
+		Failures:     l.failures.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"meerkat/internal/message"
+	"meerkat/internal/occ"
 	"meerkat/internal/timestamp"
 	"meerkat/internal/vstore"
 )
@@ -403,9 +405,12 @@ func TestStoreSecondSnapshotGC(t *testing.T) {
 }
 
 // TestExportShardSince pins the delta-export filter the recovery path relies
-// on: only keys written or read after the watermark are shipped.
+// on: only keys written or read after the watermark are shipped — unless the
+// wall-clock axis is engaged, which additionally ships keys applied locally
+// after the given instant regardless of their timestamps.
 func TestExportShardSince(t *testing.T) {
 	vs := vstore.New(vstore.Config{Shards: 1})
+	before := time.Now().UnixNano()
 	vs.Load("old", []byte("x"), ts(1))
 	vs.Load("new", []byte("y"), ts(10))
 	vs.Load("readlater", []byte("z"), ts(2))
@@ -415,12 +420,151 @@ func TestExportShardSince(t *testing.T) {
 	if len(full) != 3 {
 		t.Fatalf("full export %d keys, want 3", len(full))
 	}
-	delta := vs.ExportShardSince(0, ts(5))
+	delta := vs.ExportShardSince(0, ts(5), 0)
 	names := map[string]bool{}
 	for _, ks := range delta {
 		names[ks.Key] = true
 	}
 	if len(delta) != 2 || !names["new"] || !names["readlater"] {
 		t.Fatalf("delta export %v, want {new, readlater}", names)
+	}
+
+	// Wall-clock axis: everything above was applied after `before`, so even
+	// "old" (TS-filtered out) ships — the sweeper/backup-coordinator case of
+	// a commit finalized long after its timestamp was assigned.
+	wallDelta := vs.ExportShardSince(0, ts(5), before)
+	if len(wallDelta) != 3 {
+		t.Fatalf("wall-clock delta %d keys, want 3", len(wallDelta))
+	}
+	// A bound in the future ships nothing beyond the TS filter.
+	future := vs.ExportShardSince(0, ts(5), time.Now().UnixNano()+int64(time.Hour))
+	if len(future) != 2 {
+		t.Fatalf("future wall-clock delta %d keys, want 2", len(future))
+	}
+}
+
+// TestValidPrefixHugeLength pins the torn-tail handling of a corrupt frame
+// length with the top bit set: replay must end cleanly at the frame, not
+// convert the length to a negative int (32-bit platforms) and panic slicing.
+func TestValidPrefixHugeLength(t *testing.T) {
+	buf := make([]byte, frameHeader+16)
+	binary.LittleEndian.PutUint32(buf, 0xFFFFFFFF)
+	n, torn, err := validPrefix(buf, func([]byte) error {
+		t.Fatal("corrupt frame delivered a payload")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || !torn {
+		t.Fatalf("validPrefix = (%d, torn=%v), want (0, true)", n, torn)
+	}
+}
+
+// TestSnapshotWaitsForApply pins the append+apply atomicity that makes log
+// truncation safe: a snapshot that starts while a logged record's apply hook
+// is still running must block until the apply lands, so the exported store
+// always covers every record the mark flushed into pre-mark (truncatable)
+// segments. Without the pairing, the snapshot would export the store before
+// the apply, truncate the record's only durable copy, and lose the commit.
+func TestSnapshotWaitsForApply(t *testing.T) {
+	dir := t.TempDir()
+	s, rec, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := rec.Store
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.Log(0).SetApply(func(txn *message.Txn, tts timestamp.Timestamp) {
+		close(entered)
+		<-release
+		occ.ApplyCommit(vs, txn, tts)
+	})
+
+	txn := testTxn(1, "k", "survivor", "r")
+	go s.Log(0).AppendCommit(&txn, ts(7))
+	<-entered
+
+	snapDone := make(chan error, 1)
+	go func() { snapDone <- s.Snapshot(vs) }()
+	select {
+	case <-snapDone:
+		t.Fatal("snapshot completed while a logged record's apply was pending")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-snapDone; err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The record's log segment was truncated by the snapshot; the commit must
+	// survive the reopen regardless.
+	_, rec2, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := rec2.Store.Read("k"); !ok || string(v.Value) != "survivor" || v.WTS != ts(7) {
+		t.Fatalf(`Read("k") = %q@%v ok=%v after snapshot+reopen, want "survivor"@%v`, v.Value, v.WTS, ok, ts(7))
+	}
+}
+
+// TestFlushFailureRetainsRecords pins the IO-error contract: a failed write
+// must requeue the drained records (a later flush retries them), count the
+// failure, and latch the error for Err — never silently drop frames that the
+// replica already acknowledged as durable.
+func TestFlushFailureRetainsRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := openLog(dir, Options{GroupCommitInterval: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := testTxn(1, "k", "v", "r")
+	l.AppendCommit(&txn, ts(3))
+
+	// Sabotage the segment file out from under the log; the next write fails.
+	l.wmu.Lock()
+	l.f.Close()
+	seg := l.seg
+	l.wmu.Unlock()
+	if err := l.Flush(); err == nil {
+		t.Fatal("Flush on a closed file succeeded")
+	}
+	if got := l.Stats().Failures; got == 0 {
+		t.Fatal("failure not counted in Stats")
+	}
+	if l.Err() == nil {
+		t.Fatal("failure not latched in Err")
+	}
+
+	// Repair the file; the retained records must flush and replay intact.
+	f, err := os.OpenFile(filepath.Join(dir, segName(seg)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.wmu.Lock()
+	l.f = f
+	l.wmu.Unlock()
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush after repair: %v", err)
+	}
+	if err := l.Err(); err == nil {
+		t.Fatal("Err must stay sticky after recovery")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rs, l2 := replayAll(t, dir, Options{})
+	defer l2.Close()
+	if rs.Torn {
+		t.Fatal("repaired log reported torn")
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Txn, txn) {
+		t.Fatalf("replayed %d records (%+v), want the retained one", len(got), got)
 	}
 }

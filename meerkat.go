@@ -92,8 +92,14 @@ type Durability struct {
 	// DeltaMargin is subtracted from the replayed-log watermark when a
 	// recovering replica asks a donor for the post-crash delta, covering
 	// commits that were applied out of timestamp order around the crash.
-	// The epoch change that follows recovery reconciles in-flight
-	// transactions regardless. Default 10s.
+	// The default is derived from the protocol knobs that bound how long a
+	// commit's finalization can trail its timestamp assignment (StaleAfter/
+	// SweepInterval, CommitTimeout, Retries, BackoffMax, ClockSkew), with a
+	// 10s floor. Donors additionally ship keys whose commit they applied
+	// (wall clock) after the replica crashed, so even a finalization
+	// exceeding the margin — a coordinator outage longer than the sweeper
+	// bound — cannot silently strand stale keys. The epoch change that
+	// follows recovery reconciles in-flight transactions regardless.
 	DeltaMargin time.Duration
 }
 
@@ -232,7 +238,8 @@ type Config struct {
 //	Transport inproc (UDPHost 127.0.0.1, UDPBasePort 29000 when UDP),
 //	CommitTimeout 100ms, Retries 10, BackoffBase 500µs, BackoffMax 50ms,
 //	and, with Durability.DataDir set: Sync batch, GroupCommitInterval 2ms,
-//	SnapshotInterval 30s, MaxLogSegment 64MiB, DeltaMargin 10s.
+//	SnapshotInterval 30s, MaxLogSegment 64MiB, DeltaMargin derived from the
+//	protocol knobs (see deriveDeltaMargin; 10s with the other defaults).
 //
 // It rejects negative knobs, even replica counts, out-of-range fault
 // probabilities, and malformed fault plans. NewCluster calls it, so explicit
@@ -300,6 +307,9 @@ func (c *Config) Validate() error {
 	if err := c.Durability.validate(); err != nil {
 		return err
 	}
+	if c.Durability.Enabled() && c.Durability.DeltaMargin == 0 {
+		c.Durability.DeltaMargin = c.deriveDeltaMargin()
+	}
 	return nil
 }
 
@@ -327,10 +337,38 @@ func (d *Durability) validate() error {
 	if d.MaxLogSegment == 0 {
 		d.MaxLogSegment = 64 << 20
 	}
-	if d.DeltaMargin == 0 {
-		d.DeltaMargin = 10 * time.Second
-	}
+	// DeltaMargin's default is derived from protocol knobs the Durability
+	// struct cannot see; Config.Validate fills it after calling this.
 	return nil
+}
+
+// deriveDeltaMargin bounds how long a commit's finalization can trail its
+// timestamp assignment on a healthy group, so the recovering replica's
+// TS-delta filter cannot miss it: the sweeper declares a coordinator dead
+// after StaleAfter (default 5x SweepInterval), the original coordinator may
+// have retried for (Retries+1) timeouts with backoff before that, recovery
+// itself runs more rounds, and client clocks may disagree by ClockSkew. The
+// sum is padded generously — the margin only sizes a state-transfer delta,
+// so over-estimating costs bytes, never correctness — and floored at the
+// long-standing 10s default, which already covers configs without a sweeper.
+func (c *Config) deriveDeltaMargin() time.Duration {
+	staleAfter := c.StaleAfter
+	if staleAfter == 0 && c.SweepInterval > 0 {
+		staleAfter = 5 * c.SweepInterval
+	}
+	skew := c.ClockSkew
+	if skew < 0 {
+		skew = -skew
+	}
+	m := 2*staleAfter +
+		time.Duration(c.Retries+1)*c.CommitTimeout +
+		time.Duration(c.Retries)*c.BackoffMax +
+		30*c.CommitTimeout + // recovery rounds initiated by backup coordinators
+		16*skew
+	if m < 10*time.Second {
+		m = 10 * time.Second
+	}
+	return m
 }
 
 func (c *Config) fill() error { return c.Validate() }
@@ -352,11 +390,12 @@ type Cluster struct {
 	obs    *obs.Registry // never nil after NewCluster
 	recObs *obs.Shard    // epoch-change recorder
 
-	mu       sync.Mutex
-	replicas [][]*replica.Replica // [partition][index]
-	epochs   []uint64             // per-partition epoch counters
-	nextCli  uint64
-	closed   bool
+	mu        sync.Mutex
+	replicas  [][]*replica.Replica // [partition][index]
+	epochs    []uint64             // per-partition epoch counters
+	crashedAt map[[2]int]int64     // wall clock (UnixNano) of each CrashReplica
+	nextCli   uint64
+	closed    bool
 }
 
 // NewCluster starts a cluster per cfg.
@@ -369,7 +408,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("meerkat: invalid configuration %+v", cfg)
 	}
 
-	c := &Cluster{cfg: cfg, topo: t, epochs: make([]uint64, cfg.Partitions)}
+	c := &Cluster{
+		cfg: cfg, topo: t,
+		epochs:    make([]uint64, cfg.Partitions),
+		crashedAt: make(map[[2]int]int64),
+	}
 	c.obs = cfg.Obs
 	if c.obs == nil {
 		c.obs = obs.NewRegistry()
@@ -420,26 +463,62 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	for p := 0; p < cfg.Partitions; p++ {
 		group := make([]*replica.Replica, cfg.Replicas)
-		for r := 0; r < cfg.Replicas; r++ {
-			var store *vstore.Store
-			var w *wal.Store
-			if cfg.Durability.Enabled() {
-				// Open (or create) this replica's durability directory and
-				// replay whatever it holds: a whole-cluster restart comes
-				// back with every committed transaction.
-				var recov *wal.Recovered
-				var err error
-				w, recov, err = wal.Open(cfg.Durability.replicaDir(p, r), cfg.Cores, cfg.Durability.walOptions())
+		stores := make([]*vstore.Store, cfg.Replicas)
+		wals := make([]*wal.Store, cfg.Replicas)
+		if cfg.Durability.Enabled() {
+			// Open (or create) every replica's durability directory and
+			// replay whatever it holds: a whole-cluster restart comes back
+			// with every committed transaction.
+			replayed := false
+			for r := 0; r < cfg.Replicas; r++ {
+				w, recov, err := wal.Open(cfg.Durability.replicaDir(p, r), cfg.Cores, cfg.Durability.walOptions())
 				if err != nil {
+					for i := 0; i < r; i++ {
+						wals[i].Close()
+					}
 					c.Close()
 					return nil, err
 				}
-				store = recov.Store
+				wals[r] = w
+				stores[r] = recov.Store
+				replayed = replayed || recov.Records > 0 || recov.SnapshotKeys > 0
 			}
-			rep, err := c.newReplica(p, r, store, w)
+			if replayed {
+				// Reconcile the group before serving traffic. After a
+				// non-graceful whole-cluster crash under SyncBatch each
+				// replica lost a different unfsynced log suffix, so the
+				// replayed stores diverge: an acknowledged write may exist
+				// on one replica and not another, and single-replica reads
+				// would return inconsistent values. The union merge is
+				// sound because imports are idempotent and monotone (Thomas
+				// rule for versions, max for rts): fold every store into
+				// the first, then fan the union back out.
+				for r := 1; r < cfg.Replicas; r++ {
+					recovery.SyncStore(stores[0], stores[r])
+				}
+				for r := 1; r < cfg.Replicas; r++ {
+					recovery.SyncStore(stores[r], stores[0])
+				}
+				// Make the reconciled state durable: keys merged from peers
+				// exist only in memory until a snapshot covers them, and a
+				// later lone crash would lose them again. Best-effort — on
+				// failure the logs simply keep growing and the periodic
+				// snapshotter retries.
+				for r := 0; r < cfg.Replicas; r++ {
+					wals[r].Snapshot(stores[r])
+				}
+			}
+		}
+		for r := 0; r < cfg.Replicas; r++ {
+			rep, err := c.newReplica(p, r, stores[r], wals[r])
 			if err != nil {
-				if w != nil {
-					w.Close()
+				for i := r; i < cfg.Replicas; i++ {
+					if wals[i] != nil {
+						wals[i].Close()
+					}
+				}
+				for i := 0; i < r; i++ {
+					group[i].Stop()
 				}
 				c.Close()
 				return nil, err
@@ -541,6 +620,13 @@ func (c *Cluster) CrashReplica(p, r int) {
 	c.mu.Lock()
 	rep := c.replicas[p][r]
 	c.replicas[p][r] = nil
+	if rep != nil {
+		// Stamp the crash instant: RecoverReplica hands it to donors as the
+		// wall-clock delta bound (ship every key whose commit you applied
+		// since), which catches commits finalized during the outage with
+		// timestamps older than any TS margin.
+		c.crashedAt[[2]int{p, r}] = time.Now().UnixNano()
+	}
 	c.mu.Unlock()
 	if rep != nil {
 		rep.Crash()
@@ -552,15 +638,19 @@ func (c *Cluster) CrashReplica(p, r int) {
 // store, per §5.3.1. With durability it first reopens its data directory and
 // replays the local snapshot + logs, then fetches only the delta — keys the
 // donor saw change after the replayed watermark (minus Durability.
-// DeltaMargin, covering out-of-timestamp-order applies). Either way the
-// epoch change that follows reconciles every in-flight transaction, so the
-// rejoined replica is exactly consistent with the group.
+// DeltaMargin, covering out-of-timestamp-order applies) plus keys whose
+// commit the donor applied, by its wall clock, since just before the crash
+// (covering sweeper/backup-coordinator outcomes whose timestamps are older
+// than any margin). Either way the epoch change that follows reconciles
+// every in-flight transaction, so the rejoined replica is exactly
+// consistent with the group.
 func (c *Cluster) RecoverReplica(p, r int) error {
 	c.mu.Lock()
 	if c.replicas[p][r] != nil {
 		c.mu.Unlock()
 		return errors.New("meerkat: replica is not crashed")
 	}
+	crashStamp := c.crashedAt[[2]int{p, r}]
 	donor := -1
 	for i, rep := range c.replicas[p] {
 		if i != r && rep != nil {
@@ -579,6 +669,7 @@ func (c *Cluster) RecoverReplica(p, r int) error {
 	var store *vstore.Store
 	var w *wal.Store
 	var since timestamp.Timestamp
+	var sinceWall int64
 	if c.cfg.Durability.Enabled() {
 		var recov *wal.Recovered
 		var err error
@@ -590,12 +681,24 @@ func (c *Cluster) RecoverReplica(p, r int) error {
 		if margin := c.cfg.Durability.DeltaMargin.Nanoseconds(); recov.Watermark.Time > margin {
 			since = timestamp.Timestamp{Time: recov.Watermark.Time - margin}
 		}
+		if crashStamp > 0 {
+			// Second delta axis: donors also ship keys whose commit they
+			// applied (their wall clock) since just before the crash. The
+			// slack absorbs group-commit buffering around the crash instant
+			// and inter-replica apply latency; over-shipping is only bytes.
+			slack := 5*c.cfg.CommitTimeout + 10*c.cfg.Durability.GroupCommitInterval
+			if slack < time.Second {
+				slack = time.Second
+			}
+			sinceWall = crashStamp - slack.Nanoseconds()
+		}
 	} else {
 		store = vstore.New(vstore.Config{})
 	}
 	if err := recovery.SyncStoreRemote(c.net, c.topo, p, donor, store, recovery.Options{
-		Timeout: c.cfg.CommitTimeout * 5,
-		Since:   since,
+		Timeout:   c.cfg.CommitTimeout * 5,
+		Since:     since,
+		SinceWall: sinceWall,
 	}); err != nil {
 		if w != nil {
 			w.Close()
@@ -611,6 +714,7 @@ func (c *Cluster) RecoverReplica(p, r int) error {
 	}
 	c.mu.Lock()
 	c.replicas[p][r] = rep
+	delete(c.crashedAt, [2]int{p, r})
 	c.mu.Unlock()
 	if err := c.EpochChange(p); err != nil {
 		return err
@@ -713,6 +817,7 @@ func (c *Cluster) WALStats() (s wal.Stats, ok bool) {
 			s.Syncs += st.Syncs
 			s.BytesWritten += st.BytesWritten
 			s.Segments += st.Segments
+			s.Failures += st.Failures
 		}
 	}
 	return s, true
