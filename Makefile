@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-udp bench-wal chaos check
+.PHONY: build test race vet bench bench-json bench-udp bench-wal bench-zipf chaos check
 
 build:
 	$(GO) build ./...
@@ -51,3 +51,10 @@ bench-udp:
 # per committed transaction showing the group-commit amortization.
 bench-wal:
 	$(GO) run ./cmd/meerkat-bench -exp wal -measure $(MEASURE) -json BENCH_pr7.json
+
+# Commutative ops under skew plus the re-measured WAL sweep (the shared
+# group-commit scheduler fixed the wal-batch fsync storm): hot-counter
+# RMW-via-Put vs RMW-via-Increment across Zipf theta, reporting goodput,
+# abort rate, and latency percentiles per cell.
+bench-zipf:
+	$(GO) run ./cmd/meerkat-bench -exp wal,zipf -measure $(MEASURE) -json BENCH_pr8.json

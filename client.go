@@ -110,6 +110,28 @@ func (t *Txn) Write(key string, value []byte) {
 	t.inner.Write(key, value)
 }
 
+// Add buffers a server-side increment of key by delta (negative deltas
+// decrement; a missing or non-numeric value counts as 0). Unlike a
+// read-increment-write, the operation itself ships to the replicas and
+// carries no read version, so concurrent Adds to the same key merge in
+// timestamp order instead of aborting one another — a hot counter stops
+// being an abort hotspot. Values are decimal ASCII, interoperable with
+// Read/Write.
+func (t *Txn) Add(key string, delta int64) { t.inner.Add(key, delta) }
+
+// Append buffers a server-side append of b to key's value, with the same
+// merge-not-abort semantics as Add. The caller must not mutate b until
+// Commit returns.
+func (t *Txn) Append(key string, b []byte) { t.inner.Append(key, b) }
+
+// MergeMax buffers a server-side monotone merge: key's value becomes
+// max(current, v), treating a missing or non-numeric current value as v.
+// Useful for high-water marks maintained by many writers.
+func (t *Txn) MergeMax(key string, v int64) { t.inner.MergeMax(key, v) }
+
+// MergeMin is the min-merge counterpart of MergeMax (low-water marks).
+func (t *Txn) MergeMin(key string, v int64) { t.inner.MergeMin(key, v) }
+
 // Commit runs Meerkat's validation and write phases. It returns true if the
 // transaction committed and false if optimistic validation failed because a
 // conflicting transaction won; in the latter case the caller usually retries
@@ -161,10 +183,11 @@ func (t *Txn) ID() timestamp.TxnID { return t.inner.ID() }
 // serializable in timestamp order.
 func (t *Txn) Timestamp() timestamp.Timestamp { return t.inner.Timestamp() }
 
-// ReadSet and WriteSet expose the transaction's sets for verification
+// ReadSet, WriteSet, and OpSet expose the transaction's sets for verification
 // tooling (e.g. the serializability checker); callers must not mutate them.
 func (t *Txn) ReadSet() []message.ReadSetEntry   { return t.inner.ReadSet() }
 func (t *Txn) WriteSet() []message.WriteSetEntry { return t.inner.WriteSet() }
+func (t *Txn) OpSet() []message.OpSetEntry       { return t.inner.OpSet() }
 
 // ErrTxnAborted is returned by RunTxn when the transaction body asked to
 // abort.

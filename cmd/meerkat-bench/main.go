@@ -35,7 +35,7 @@ import (
 )
 
 var (
-	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|udp|wal|calibrate|all (udp binds real loopback sockets and wal writes real files, so those run only when asked for explicitly)")
+	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|udp|wal|zipf|calibrate|all (udp binds real loopback sockets, wal writes real files, and zipf builds a cluster per cell, so those run only when asked for explicitly)")
 	faults      = flag.Bool("faults", false, "run the kill-one-replica fault-injection timeline (same as -exp faults)")
 	transportF  = flag.String("transport", "", "\"udp\" runs the wire-level transport comparison (same as -exp udp): batched sendmmsg/recvmmsg + pipelined sessions vs the per-datagram baseline vs inproc")
 	window      = flag.Int("window", 16, "udp experiment: in-flight transactions per pipelined session")
@@ -43,6 +43,7 @@ var (
 	udpPort     = flag.Int("udp-port", 27000, "udp experiment: base port of the throwaway port maps")
 	measure     = flag.Duration("measure", 500*time.Millisecond, "measured window per real data point")
 	keys        = flag.Int("keys", 65536, "pre-loaded keys for real runs")
+	clientsF    = flag.Int("clients", 0, "closed-loop clients per measured point (0 = per-experiment default)")
 	threadsCSV  = flag.String("threads", "2,4,8,16,32,48,64,80", "simulated thread counts")
 	realCSV     = flag.String("real-threads", "1,2,4", "measured thread counts (bounded by host cores)")
 	zipfCSV     = flag.String("zipfs", "0,0.2,0.4,0.6,0.7,0.8,0.87,0.9,0.95,0.99", "zipf coefficients for figs 6/7")
@@ -89,7 +90,7 @@ func main() {
 		fmt.Fprintln(out, "calibrating simulator parameters from this host's code ...")
 		params = sim.Calibrate()
 	}
-	opts := bench.Options{Measure: *measure, Keys: *keys}
+	opts := bench.Options{Measure: *measure, Keys: *keys, Clients: *clientsF}
 	if *metricsAddr != "" {
 		// One registry observes every system the sweeps build; the live
 		// exporter shows cumulative counters across the whole invocation.
@@ -116,6 +117,17 @@ func main() {
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
+	// The explicit-only experiments (udp/wal/zipf) never run under "all" but
+	// may be combined comma-separated, e.g. -exp wal,zipf for one merged
+	// JSON report.
+	wantOnly := func(name string) bool {
+		for _, e := range strings.Split(*exp, ",") {
+			if strings.TrimSpace(e) == name {
+				return true
+			}
+		}
+		return false
+	}
 
 	if want("table1") {
 		run("Table 1 (coordination matrix)", func() error {
@@ -221,7 +233,7 @@ func main() {
 			})
 		}
 	}
-	if *exp == "udp" || *transportF == "udp" {
+	if wantOnly("udp") || *transportF == "udp" {
 		run("UDP wire cost (measured: syscalls/txn, batched vs per-datagram)", func() error {
 			pts, err := bench.UDPSweep(out, bench.UDPOptions{
 				Options:    opts,
@@ -233,10 +245,17 @@ func main() {
 			return err
 		})
 	}
-	if *exp == "wal" {
+	if wantOnly("wal") {
 		run("WAL durability cost (measured: goodput per fsync policy)", func() error {
 			pts, err := bench.WALSweep(out, bench.WALOptions{Options: opts})
 			report.Add("wal", pts)
+			return err
+		})
+	}
+	if wantOnly("zipf") {
+		run("Commutative ops under skew (measured: RMW write-back vs server-side increment)", func() error {
+			pts, err := bench.OpsZipfSweep(out, bench.OpsZipfOptions{Options: opts})
+			report.Add("zipf", pts)
 			return err
 		})
 	}

@@ -4,7 +4,8 @@
 //
 //	meerkat-client -op put -key hello -value world
 //	meerkat-client -op get -key hello
-//	meerkat-client -op incr -key counter
+//	meerkat-client -op incr -key counter          (server-side commutative Add)
+//	meerkat-client -op append -key log -value x   (server-side commutative Append)
 //	meerkat-client -op bench -duration 5s
 package main
 
@@ -35,7 +36,7 @@ func main() {
 		partitions = flag.Int("partitions", 1, "number of partitions")
 		cores      = flag.Int("cores", 4, "server threads per replica")
 		clientID   = flag.Uint64("id", uint64(os.Getpid()), "unique client id")
-		op         = flag.String("op", "get", "operation: get|mget|put|incr|bench")
+		op         = flag.String("op", "get", "operation: get|mget|put|incr|append|bench")
 		key        = flag.String("key", "", "key (for mget: comma-separated keys)")
 		value      = flag.String("value", "", "value (put)")
 		duration   = flag.Duration("duration", 3*time.Second, "bench duration")
@@ -125,24 +126,52 @@ func main() {
 		fmt.Printf("put %s: committed=%v\n", *key, committed)
 
 	case "incr":
-		// The coordinator's Run loop retries contention with backoff and
-		// resolves unknown-outcome commits; the deadline bounds the whole
-		// retry loop over real UDP.
+		// Server-side increment: the transaction ships Add(key, delta)
+		// instead of read + write-back, so concurrent increments merge at
+		// the replicas rather than aborting each other. -value overrides
+		// the delta (default 1). The commit carries no read set, so the
+		// Run loop's retry path is only for lost messages, never for
+		// contention.
+		delta := int64(1)
+		if *value != "" {
+			d, err := strconv.ParseInt(*value, 10, 64)
+			if err != nil {
+				fail(fmt.Errorf("incr: -value must be a decimal delta: %w", err))
+			}
+			delta = d
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		var n int
 		if err := coord.Run(ctx, func(txn *coordinator.Txn) error {
-			cur, err := txn.ReadCtx(ctx, *key)
-			if err != nil {
-				return err
-			}
-			n, _ = strconv.Atoi(string(cur))
-			txn.Write(*key, []byte(strconv.Itoa(n+1)))
+			txn.Add(*key, delta)
 			return nil
 		}); err != nil {
 			fail(fmt.Errorf("incr: %w", err))
 		}
-		fmt.Printf("%s = %d\n", *key, n+1)
+		// Report the merged value with a follow-up read (other clients may
+		// merge concurrently, so this is a floor, not the exact result).
+		if cur, _, ok, err := coord.Read(*key); err == nil && ok {
+			fmt.Printf("%s = %s\n", *key, cur)
+		} else {
+			fmt.Printf("%s += %d: committed\n", *key, delta)
+		}
+
+	case "append":
+		// Server-side append: ships the bytes as a commutative op, merged
+		// into the value in commit-timestamp order.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := coord.Run(ctx, func(txn *coordinator.Txn) error {
+			txn.Append(*key, []byte(*value))
+			return nil
+		}); err != nil {
+			fail(fmt.Errorf("append: %w", err))
+		}
+		if cur, _, ok, err := coord.Read(*key); err == nil && ok {
+			fmt.Printf("%s = %q\n", *key, cur)
+		} else {
+			fmt.Printf("append %s: committed\n", *key)
+		}
 
 	case "bench":
 		// One goroutine per pipelined worker; with -pipeline 1 this is the

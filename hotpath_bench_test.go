@@ -95,3 +95,42 @@ func TestCommitSinglePartitionAllocGate(t *testing.T) {
 		t.Fatalf("single-partition commit allocated %v objects/op, want <= 19 (baseline before de-churn: 39)", allocs)
 	}
 }
+
+// BenchmarkCommitIncrement is the op-only commit shape: one server-side
+// increment, no read round trip — the hot-counter pattern the commutative
+// ops exist for.
+func BenchmarkCommitIncrement(b *testing.B) {
+	_, cl, keys := newHotpathCluster(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := cl.Begin()
+		txn.Add(keys[0], 1)
+		if _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCommitIncrementAllocGate pins the op-only commit's allocation count to
+// the same ceiling as the read-modify-write gate: shipping the operation
+// instead of read-version + blind write must not add hot-path churn (the op
+// entries ride the same pooled messages and scratch buffers).
+func TestCommitIncrementAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; gate runs without -race")
+	}
+	_, cl, keys := newHotpathCluster(t, 1)
+	commit := func() {
+		txn := cl.Begin()
+		txn.Add(keys[0], 1)
+		if _, err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit() // warm the coordinator's reusable timers and scratch
+	allocs := testing.AllocsPerRun(200, commit)
+	if allocs > 19 {
+		t.Fatalf("op-only commit allocated %v objects/op, want <= 19 (same gate as the RMW commit)", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -229,8 +230,24 @@ func execSpec(txn Txn, spec *workload.TxnSpec, value []byte, gets *[]string) err
 	for _, k := range spec.Writes {
 		txn.Write(k, value)
 	}
+	if len(spec.Incrs) > 0 {
+		// Server-side increments are a Meerkat-side extension; the Txn
+		// interface stays the four-method baseline surface all four
+		// systems share, so the op capability is an assertion.
+		a, ok := txn.(interface{ Add(key string, delta int64) })
+		if !ok {
+			return errOpsUnsupported
+		}
+		for _, k := range spec.Incrs {
+			a.Add(k, 1)
+		}
+	}
 	return nil
 }
+
+// errOpsUnsupported rejects increment specs on systems whose transaction
+// surface has no commutative ops (the PB baselines).
+var errOpsUnsupported = errors.New("bench: system does not support server-side ops")
 
 // runSpec executes one generated transaction as a single attempt: build via
 // execSpec, then commit.

@@ -69,6 +69,12 @@ type Config struct {
 	// before the delta state transfer, so the checker verdict covers the
 	// whole persistence path.
 	Durability meerkat.Durability
+	// Ops replaces the workload's read-modify-write keys with server-side
+	// increments: the transaction ships Add(key, 1) instead of reading the
+	// key and writing it back. The recorded histories then mix plain
+	// reads/writes with commutative ops, and the checker's value replay
+	// verifies merge results across faults, crashes, and WAL recovery.
+	Ops bool
 }
 
 func (c *Config) fill() {
@@ -247,6 +253,11 @@ func Run(cfg Config) (*Result, error) {
 	allFired := func() bool { return fnet.Stats().EventsFired.Load() >= nEvents }
 
 	hist := checker.New()
+	// Give the checker the preloaded values so its value replay can verify
+	// read hashes (and op merge results) from the first transaction.
+	for i := 0; i < cfg.Keys; i++ {
+		hist.SetInitialValue(workload.KeyName(i), value)
+	}
 	var tail atomic.Int64
 	var stop atomic.Bool
 	var unresolved, runErrors atomic.Int64
@@ -264,10 +275,18 @@ func Run(cfg Config) (*Result, error) {
 			defer cl.Close()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
 			gen := newGenerator(cfg, rng)
-			var gets []string
+			var gets, incrs []string
 			for !stop.Load() && ctx.Err() == nil {
 				spec := gen.Next(rng)
 				gets = spec.AppendGets(gets[:0])
+				incrs = incrs[:0]
+				if cfg.Ops {
+					// RMW keys ship as server-side increments: drop their
+					// reads (AppendGets puts plain reads first) and carry
+					// the keys in the op set instead.
+					gets = gets[:len(spec.Reads)]
+					incrs = append(incrs, spec.RMWs...)
+				}
 				var last *meerkat.Txn
 				err := cl.Run(ctx, func(t *meerkat.Txn) error {
 					last = t
@@ -276,8 +295,13 @@ func Run(cfg Config) (*Result, error) {
 							return err
 						}
 					}
-					for _, k := range spec.RMWs {
-						t.Write(k, value)
+					for _, k := range incrs {
+						t.Add(k, 1)
+					}
+					if !cfg.Ops {
+						for _, k := range spec.RMWs {
+							t.Write(k, value)
+						}
 					}
 					for _, k := range spec.Writes {
 						t.Write(k, value)
@@ -296,6 +320,7 @@ func Run(cfg Config) (*Result, error) {
 				hist.Add(checker.CommittedTxn{
 					ID: last.ID(), TS: last.Timestamp(),
 					ReadSet: last.ReadSet(), WriteSet: last.WriteSet(),
+					OpSet: last.OpSet(),
 				})
 				if allFired() && tail.Add(1) >= int64(cfg.TailTxns) {
 					stop.Store(true)

@@ -133,11 +133,15 @@ func TestDefaultPlanStable(t *testing.T) {
 // injected crash abandons the victim's unflushed WAL buffers, and its
 // restart replays snapshot + logs from disk before the delta state
 // transfer. The history must stay one-copy serializable — persistence must
-// not re-introduce coordination bugs or lose acknowledged commits.
+// not re-introduce coordination bugs or lose acknowledged commits. Ops is
+// set, so the RMW traffic ships as server-side increments and the verdict
+// covers commutative-op replay through the WAL and crash recovery: the
+// checker's value replay recomputes every merge and compares read hashes.
 func TestChaosDiskRecovery(t *testing.T) {
 	dir := t.TempDir()
 	res, err := Run(Config{
 		Seed:    7,
+		Ops:     true,
 		Timeout: 90 * time.Second,
 		Durability: meerkat.Durability{
 			DataDir:             dir,

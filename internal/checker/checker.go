@@ -24,17 +24,33 @@ type CommittedTxn struct {
 	TS       timestamp.Timestamp
 	ReadSet  []message.ReadSetEntry
 	WriteSet []message.WriteSetEntry
+	OpSet    []message.OpSetEntry
 }
 
 // History accumulates committed transactions from any number of client
 // goroutines.
 type History struct {
-	mu   sync.Mutex
-	txns []CommittedTxn
+	mu       sync.Mutex
+	txns     []CommittedTxn
+	initVals map[string][]byte
 }
 
 // New returns an empty history.
 func New() *History { return &History{} }
+
+// SetInitialValue records the preloaded value of key, letting Check verify
+// read value hashes for that key from the very first transaction. Keys that
+// appear in Check's initial map without a recorded value skip hash checks
+// until a replayed write makes their value known again; keys outside the
+// initial map are known missing (nil) from the start.
+func (h *History) SetInitialValue(key string, val []byte) {
+	h.mu.Lock()
+	if h.initVals == nil {
+		h.initVals = make(map[string][]byte)
+	}
+	h.initVals[key] = append([]byte(nil), val...)
+	h.mu.Unlock()
+}
 
 // Add records a committed transaction. Safe for concurrent use.
 func (h *History) Add(t CommittedTxn) {
@@ -57,10 +73,22 @@ type Violation struct {
 	Key       string
 	ReadWTS   timestamp.Timestamp // version the transaction claims it read
 	SerialWTS timestamp.Timestamp // version serial replay says it must have read
+	// ValueHash marks a value-hash mismatch: the transaction read the right
+	// version timestamp but a value the serial replay does not produce. This
+	// is the failure mode commutative ops introduce — a mid-chain merge
+	// re-materializes a version without advancing its timestamp — so it can
+	// only be caught by comparing what was read, not when.
+	ValueHash bool
+	ReadVHash uint64 // hash of the value the transaction read
+	WantVHash uint64 // hash of the value serial replay produces
 }
 
 // Error renders the violation.
 func (v Violation) Error() string {
+	if v.ValueHash {
+		return fmt.Sprintf("txn %v@%v read %q@%v with value hash %x but timestamp-order replay gives %x",
+			v.Txn, v.TS, v.Key, v.ReadWTS, v.ReadVHash, v.WantVHash)
+	}
 	return fmt.Sprintf("txn %v@%v read %q@%v but timestamp-order replay gives @%v",
 		v.Txn, v.TS, v.Key, v.ReadWTS, v.SerialWTS)
 }
@@ -72,6 +100,7 @@ func (h *History) Check(initial map[string]timestamp.Timestamp) []Violation {
 	h.mu.Lock()
 	txns := make([]CommittedTxn, len(h.txns))
 	copy(txns, h.txns)
+	initVals := h.initVals
 	h.mu.Unlock()
 
 	sort.Slice(txns, func(i, j int) bool { return txns[i].TS.Less(txns[j].TS) })
@@ -79,6 +108,29 @@ func (h *History) Check(initial map[string]timestamp.Timestamp) []Violation {
 	state := make(map[string]timestamp.Timestamp, len(initial))
 	for k, ts := range initial {
 		state[k] = ts
+	}
+
+	// Value replay runs alongside the timestamp replay. A key's value is
+	// "known" when the replay can derive it: keys outside initial are known
+	// missing (nil), keys with a recorded initial value start known, and any
+	// replayed write makes its key known. Ops preserve knowledge (ApplyOp is
+	// deterministic); reads of unknown values skip the hash comparison.
+	vals := make(map[string][]byte, len(initVals))
+	known := make(map[string]bool, len(initVals))
+	for k := range initial {
+		if v, ok := initVals[k]; ok {
+			vals[k] = v
+			known[k] = true
+		}
+	}
+	valueOf := func(k string) ([]byte, bool) {
+		if known[k] {
+			return vals[k], true
+		}
+		if _, preloaded := initial[k]; preloaded {
+			return nil, false
+		}
+		return nil, true // never written: reads as missing
 	}
 
 	var out []Violation
@@ -89,6 +141,20 @@ func (h *History) Check(initial map[string]timestamp.Timestamp) []Violation {
 					Txn: t.ID, TS: t.TS, Key: r.Key,
 					ReadWTS: r.WTS, SerialWTS: got,
 				})
+				continue
+			}
+			// VHash 0 means the history was recorded without hashes
+			// (hand-built tests); skip rather than fabricate a mismatch.
+			if r.VHash == 0 {
+				continue
+			}
+			if v, ok := valueOf(r.Key); ok {
+				if want := message.HashValue(v); want != r.VHash {
+					out = append(out, Violation{
+						Txn: t.ID, TS: t.TS, Key: r.Key, ReadWTS: r.WTS,
+						ValueHash: true, ReadVHash: r.VHash, WantVHash: want,
+					})
+				}
 			}
 		}
 		for _, w := range t.WriteSet {
@@ -96,6 +162,20 @@ func (h *History) Check(initial map[string]timestamp.Timestamp) []Violation {
 			// invisible; replay applies the same rule.
 			if state[w.Key].Less(t.TS) {
 				state[w.Key] = t.TS
+				vals[w.Key] = w.Value
+				known[w.Key] = true
+			}
+		}
+		for _, o := range t.OpSet {
+			// A committed op installs a version at t.TS like a write; in
+			// timestamp-order replay it always lands on top, so the store's
+			// mid-chain merge cases reduce to a plain ApplyOp here.
+			if state[o.Key].Less(t.TS) {
+				state[o.Key] = t.TS
+			}
+			if v, ok := valueOf(o.Key); ok {
+				vals[o.Key] = message.ApplyOp(nil, v, o.Kind, o.Delta, o.Arg)
+				known[o.Key] = true
 			}
 		}
 	}

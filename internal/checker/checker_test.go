@@ -118,3 +118,88 @@ func TestUniqueTimestamps(t *testing.T) {
 		t.Fatalf("Len = %d", h.Len())
 	}
 }
+
+// TestOpHistoryReplay verifies that Check folds committed commutative ops
+// into its serial replay: ops install versions like writes for the
+// timestamp replay, and the value replay recomputes each merge so read
+// hashes are verified against the serial value.
+func TestOpHistoryReplay(t *testing.T) {
+	h := New()
+	h.SetInitialValue("n", []byte("0"))
+	// Two increments then a reader that saw the merged "2"@20.
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 1, ClientID: 1}, TS: ts(10),
+		OpSet: []message.OpSetEntry{{Key: "n", Kind: message.OpIncrement, Delta: 1}},
+	})
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 2, ClientID: 1}, TS: ts(20),
+		OpSet: []message.OpSetEntry{{Key: "n", Kind: message.OpIncrement, Delta: 1}},
+	})
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 3, ClientID: 1}, TS: ts(30),
+		ReadSet: []message.ReadSetEntry{
+			{Key: "n", WTS: ts(20), VHash: message.HashValue([]byte("2"))},
+		},
+	})
+	if v := h.Check(map[string]timestamp.Timestamp{"n": {}}); v != nil {
+		t.Fatalf("clean op history flagged: %v", v)
+	}
+
+	// A reader whose version timestamp matches but whose value hash does
+	// not — the signature of reading a value a later-arriving op merged
+	// away — must be flagged as a value-hash violation.
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 4, ClientID: 1}, TS: ts(40),
+		ReadSet: []message.ReadSetEntry{
+			{Key: "n", WTS: ts(20), VHash: message.HashValue([]byte("1"))},
+		},
+	})
+	v := h.Check(map[string]timestamp.Timestamp{"n": {}})
+	if len(v) != 1 || !v[0].ValueHash {
+		t.Fatalf("want one value-hash violation, got %v", v)
+	}
+
+	// Reads recorded without hashes (VHash 0) skip the value comparison.
+	h2 := New()
+	h2.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 1, ClientID: 1}, TS: ts(10),
+		OpSet: []message.OpSetEntry{{Key: "m", Kind: message.OpAppend, Arg: []byte("x")}},
+	})
+	h2.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 2, ClientID: 1}, TS: ts(20),
+		ReadSet: []message.ReadSetEntry{{Key: "m", WTS: ts(10)}},
+	})
+	if v := h2.Check(nil); v != nil {
+		t.Fatalf("hashless history flagged: %v", v)
+	}
+}
+
+// TestOpHistoryUnknownInitialValueSkipsHashes: a preloaded key without a
+// recorded initial value cannot be value-replayed until a write re-anchors
+// it, so hash checks are skipped rather than fabricated.
+func TestOpHistoryUnknownInitialValueSkipsHashes(t *testing.T) {
+	h := New()
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 1, ClientID: 1}, TS: ts(10),
+		OpSet: []message.OpSetEntry{{Key: "u", Kind: message.OpIncrement, Delta: 5}},
+	})
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 2, ClientID: 1}, TS: ts(20),
+		ReadSet: []message.ReadSetEntry{
+			{Key: "u", WTS: ts(10), VHash: message.HashValue([]byte("whatever"))},
+		},
+		WriteSet: []message.WriteSetEntry{{Key: "u", Value: []byte("9")}},
+	})
+	// After the write at ts 20 the value is known again: a bad hash at a
+	// later read is caught.
+	h.Add(CommittedTxn{
+		ID: timestamp.TxnID{Seq: 3, ClientID: 1}, TS: ts(30),
+		ReadSet: []message.ReadSetEntry{
+			{Key: "u", WTS: ts(20), VHash: message.HashValue([]byte("8"))},
+		},
+	})
+	v := h.Check(map[string]timestamp.Timestamp{"u": {}})
+	if len(v) != 1 || !v[0].ValueHash || v[0].TS != ts(30) {
+		t.Fatalf("want exactly the ts(30) value-hash violation, got %v", v)
+	}
+}

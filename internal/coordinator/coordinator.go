@@ -528,6 +528,12 @@ type Txn struct {
 	reads    []message.ReadSetEntry
 	readVals [][]byte
 	writes   []message.WriteSetEntry
+	ops      []message.OpSetEntry
+
+	// opErr latches a misuse of the op API (mixing op kinds on one key);
+	// Commit surfaces it instead of shipping a transaction the replicas
+	// cannot merge.
+	opErr error
 
 	// committedAt is the serialization timestamp, set once Commit decides.
 	committedAt timestamp.Timestamp
@@ -566,6 +572,16 @@ func (t *Txn) findRead(key string) int {
 	return -1
 }
 
+// findOp returns the op-set position of key, or -1.
+func (t *Txn) findOp(key string) int {
+	for i := range t.ops {
+		if t.ops[i].Key == key {
+			return i
+		}
+	}
+	return -1
+}
+
 // Read returns the value of key as of this transaction's snapshot: a
 // buffered write if the transaction wrote the key, the previously read value
 // if it already read it, or a fresh versioned read from a replica.
@@ -574,20 +590,39 @@ func (t *Txn) Read(key string) ([]byte, error) {
 }
 
 // ReadCtx is Read under a context (see Coordinator.ReadCtx).
+//
+// Reading a key with a buffered commutative op performs a real versioned read
+// (which joins the read set and is validated like any other) and returns the
+// op applied to the value read — read-your-ops. Note that this trades back
+// the op's abort immunity for that key: the transaction now carries a read
+// version a conflicting writer can invalidate.
 func (t *Txn) ReadCtx(ctx context.Context, key string) ([]byte, error) {
 	if i := t.findWrite(key); i >= 0 {
 		return t.writes[i].Value, nil
 	}
 	if i := t.findRead(key); i >= 0 {
-		return t.readVals[i], nil
+		return t.applyPendingOp(key, t.readVals[i]), nil
 	}
 	val, ver, _, err := t.c.ReadCtx(ctx, key)
 	if err != nil {
 		return nil, err
 	}
-	t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: ver})
+	// VHash identifies the observed value, not just its timestamp: a
+	// commutative op merging below ver would change the value without
+	// moving ver, and validation must notice (see message.ReadSetEntry).
+	t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: ver, VHash: message.HashValue(val)})
 	t.readVals = append(t.readVals, val)
-	return val, nil
+	return t.applyPendingOp(key, val), nil
+}
+
+// applyPendingOp materializes the transaction's buffered op for key on top of
+// a value read from the store, so reads observe the transaction's own ops.
+func (t *Txn) applyPendingOp(key string, val []byte) []byte {
+	if i := t.findOp(key); i >= 0 {
+		o := &t.ops[i]
+		return message.ApplyOp(nil, val, o.Kind, o.Delta, o.Arg)
+	}
+	return val
 }
 
 // ReadMany reads every key in keys as of this transaction's snapshot,
@@ -637,7 +672,7 @@ func (t *Txn) ReadManyCtx(ctx context.Context, keys []string) ([][]byte, error) 
 			t.readVals = readVals
 		}
 		for j, key := range fetch {
-			t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: res[j].WTS})
+			t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: res[j].WTS, VHash: message.HashValue(res[j].Value)})
 			t.readVals = append(t.readVals, res[j].Value)
 		}
 	}
@@ -645,14 +680,19 @@ func (t *Txn) ReadManyCtx(ctx context.Context, keys []string) ([][]byte, error) 
 		if j := t.findWrite(key); j >= 0 {
 			vals[i] = t.writes[j].Value
 		} else {
-			vals[i] = t.readVals[t.findRead(key)]
+			vals[i] = t.applyPendingOp(key, t.readVals[t.findRead(key)])
 		}
 	}
 	return vals, nil
 }
 
-// Write buffers a write; nothing reaches any replica until Commit.
+// Write buffers a write; nothing reaches any replica until Commit. A write
+// replaces any commutative op previously buffered for the key — the blind
+// write's value does not depend on the op's outcome.
 func (t *Txn) Write(key string, value []byte) {
+	if i := t.findOp(key); i >= 0 {
+		t.ops = append(t.ops[:i], t.ops[i+1:]...)
+	}
 	if i := t.findWrite(key); i >= 0 {
 		t.writes[i].Value = value
 		return
@@ -660,9 +700,77 @@ func (t *Txn) Write(key string, value []byte) {
 	t.writes = append(t.writes, message.WriteSetEntry{Key: key, Value: value})
 }
 
-// ReadSetSize and WriteSetSize expose set sizes for tests and stats.
+// errMixedOps reports op kinds that cannot be folded into one entry.
+var errMixedOps = errors.New("coordinator: mixed op kinds on one key in a single transaction")
+
+// addOp buffers one commutative op for key. Ops on a key the transaction has
+// already written fold into the buffered write immediately (the write is this
+// transaction's view of the key). Repeat ops of the same kind fold into a
+// single entry — increments sum, max/min keep the extreme, appends
+// concatenate — so a key carries at most one op-set entry, which is what the
+// replicas' merge requires (two ops at the same commit timestamp are
+// indistinguishable from a replay). Mixing kinds on one key is not foldable
+// without the key's value; it latches an error that Commit returns.
+func (t *Txn) addOp(key string, kind message.OpKind, delta int64, arg []byte) {
+	if i := t.findWrite(key); i >= 0 {
+		t.writes[i].Value = message.ApplyOp(nil, t.writes[i].Value, kind, delta, arg)
+		return
+	}
+	i := t.findOp(key)
+	if i < 0 {
+		t.ops = append(t.ops, message.OpSetEntry{Key: key, Kind: kind, Delta: delta, Arg: arg})
+		return
+	}
+	o := &t.ops[i]
+	if o.Kind != kind {
+		if t.opErr == nil {
+			t.opErr = fmt.Errorf("%w: %s then %s on %q", errMixedOps, o.Kind, kind, key)
+		}
+		return
+	}
+	switch kind {
+	case message.OpIncrement:
+		o.Delta += delta
+	case message.OpMax:
+		if delta > o.Delta {
+			o.Delta = delta
+		}
+	case message.OpMin:
+		if delta < o.Delta {
+			o.Delta = delta
+		}
+	case message.OpAppend:
+		// Never append in place: arg may alias caller memory, and o.Arg may
+		// alias a previous caller's.
+		merged := make([]byte, 0, len(o.Arg)+len(arg))
+		merged = append(merged, o.Arg...)
+		merged = append(merged, arg...)
+		o.Arg = merged
+	}
+}
+
+// Add buffers a server-side increment of key by delta (negative deltas
+// decrement). The op ships to the replicas instead of a read-version plus
+// blind write, so concurrent Adds to the same key merge at their commit
+// timestamps rather than aborting each other.
+func (t *Txn) Add(key string, delta int64) { t.addOp(key, message.OpIncrement, delta, nil) }
+
+// Append buffers a server-side append of b to key's value. The caller must
+// not mutate b until Commit returns.
+func (t *Txn) Append(key string, b []byte) { t.addOp(key, message.OpAppend, 0, b) }
+
+// MergeMax buffers a server-side monotone merge: key's value becomes
+// max(current, v), treating a missing or non-numeric value as v.
+func (t *Txn) MergeMax(key string, v int64) { t.addOp(key, message.OpMax, v, nil) }
+
+// MergeMin buffers the min-merge counterpart of MergeMax.
+func (t *Txn) MergeMin(key string, v int64) { t.addOp(key, message.OpMin, v, nil) }
+
+// ReadSetSize, WriteSetSize, and OpSetSize expose set sizes for tests and
+// stats.
 func (t *Txn) ReadSetSize() int  { return len(t.reads) }
 func (t *Txn) WriteSetSize() int { return len(t.writes) }
+func (t *Txn) OpSetSize() int    { return len(t.ops) }
 
 // Commit runs the validation and write phases. It returns true if the
 // transaction committed, false if it aborted due to conflicts, and an error
@@ -770,10 +878,11 @@ func (t *Txn) Timestamp() timestamp.Timestamp { return t.committedAt }
 // ID returns the transaction id assigned at commit time.
 func (t *Txn) ID() timestamp.TxnID { return t.id }
 
-// ReadSet and WriteSet expose the transaction's sets for verification
+// ReadSet, WriteSet, and OpSet expose the transaction's sets for verification
 // tooling (the serializability checker); callers must not mutate them.
 func (t *Txn) ReadSet() []message.ReadSetEntry   { return t.reads }
 func (t *Txn) WriteSet() []message.WriteSetEntry { return t.writes }
+func (t *Txn) OpSet() []message.OpSetEntry       { return t.ops }
 
 // partTxn is the slice of a transaction owned by one partition.
 type partTxn struct {
@@ -796,7 +905,7 @@ type partResult struct {
 func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
 	nparts := c.cfg.Topo.Partitions
 	if nparts == 1 {
-		c.partsBuf = append(c.partsBuf[:0], partTxn{p: 0, txn: message.Txn{ID: tid, ReadSet: t.reads, WriteSet: t.writes}})
+		c.partsBuf = append(c.partsBuf[:0], partTxn{p: 0, txn: message.Txn{ID: tid, ReadSet: t.reads, WriteSet: t.writes, OpSet: t.ops}})
 		return c.partsBuf
 	}
 	if c.partIdx == nil || len(c.partIdx) < nparts {
@@ -807,7 +916,7 @@ func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
 	for p := 0; p < nparts; p++ {
 		idx[p] = 0
 	}
-	n := len(t.reads) + len(t.writes)
+	n := len(t.reads) + len(t.writes) + len(t.ops)
 	if cap(c.keyParts) < n {
 		c.keyParts = make([]int, n)
 	}
@@ -817,6 +926,9 @@ func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
 	}
 	for i := range t.writes {
 		kp = append(kp, c.cfg.Topo.PartitionForKey(t.writes[i].Key))
+	}
+	for i := range t.ops {
+		kp = append(kp, c.cfg.Topo.PartitionForKey(t.ops[i].Key))
 	}
 	c.keyParts = kp
 	for _, p := range kp {
@@ -837,6 +949,10 @@ func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
 		tx := &out[idx[kp[len(t.reads)+i]]-1].txn
 		tx.WriteSet = append(tx.WriteSet, t.writes[i])
 	}
+	for i := range t.ops {
+		tx := &out[idx[kp[len(t.reads)+len(t.writes)+i]]-1].txn
+		tx.OpSet = append(tx.OpSet, t.ops[i])
+	}
 	c.partsBuf = out
 	return out
 }
@@ -846,6 +962,9 @@ func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
 // transaction touched, and the transaction commits only if every partition
 // validates it.
 func (c *Coordinator) commit(ctx context.Context, t *Txn) (bool, error) {
+	if t.opErr != nil {
+		return false, t.opErr
+	}
 	start := time.Now()
 	// Step 1: pick the processing core, the proposed timestamp, and the
 	// transaction id. The timestamp comes from the client's loosely

@@ -56,11 +56,19 @@ func (e *encoder) txn(t *Txn) {
 	for i := range t.ReadSet {
 		e.str(t.ReadSet[i].Key)
 		e.ts(t.ReadSet[i].WTS)
+		e.u64(t.ReadSet[i].VHash)
 	}
 	e.uvarint(uint64(len(t.WriteSet)))
 	for i := range t.WriteSet {
 		e.str(t.WriteSet[i].Key)
 		e.bytes(t.WriteSet[i].Value)
+	}
+	e.uvarint(uint64(len(t.OpSet)))
+	for i := range t.OpSet {
+		e.str(t.OpSet[i].Key)
+		e.u8(uint8(t.OpSet[i].Kind))
+		e.i64(t.OpSet[i].Delta)
+		e.bytes(t.OpSet[i].Arg)
 	}
 }
 
@@ -201,6 +209,7 @@ func (d *decoder) txn(t *Txn) {
 	for i := 0; i < n && d.err == nil; i++ {
 		t.ReadSet[i].Key = d.str()
 		t.ReadSet[i].WTS = d.ts()
+		t.ReadSet[i].VHash = d.u64()
 	}
 	n = d.length()
 	if d.err != nil {
@@ -210,6 +219,17 @@ func (d *decoder) txn(t *Txn) {
 	for i := 0; i < n && d.err == nil; i++ {
 		t.WriteSet[i].Key = d.str()
 		t.WriteSet[i].Value = d.bytes(t.WriteSet[i].Value)
+	}
+	n = d.length()
+	if d.err != nil {
+		n = 0
+	}
+	t.OpSet = grow(t.OpSet, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		t.OpSet[i].Key = d.str()
+		t.OpSet[i].Kind = OpKind(d.u8())
+		t.OpSet[i].Delta = d.i64()
+		t.OpSet[i].Arg = d.bytes(t.OpSet[i].Arg)
 	}
 }
 

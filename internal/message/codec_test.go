@@ -23,6 +23,11 @@ func sampleMessage() *Message {
 			WriteSet: []WriteSetEntry{
 				{Key: "a", Value: []byte("hello")},
 			},
+			OpSet: []OpSetEntry{
+				{Key: "ctr", Kind: OpIncrement, Delta: -7},
+				{Key: "log", Kind: OpAppend, Arg: []byte("entry")},
+				{Key: "hi", Kind: OpMax, Delta: 99},
+			},
 		},
 		TID:    timestamp.TxnID{Seq: 42, ClientID: 9},
 		TS:     timestamp.Timestamp{Time: 100, ClientID: 9},

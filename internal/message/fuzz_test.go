@@ -38,6 +38,14 @@ func randomMessage(rng *rand.Rand) *Message {
 		for i := rng.Intn(4); i > 0; i-- {
 			t.WriteSet = append(t.WriteSet, WriteSetEntry{Key: rstr(), Value: rbytes()})
 		}
+		for i := rng.Intn(4); i > 0; i-- {
+			t.OpSet = append(t.OpSet, OpSetEntry{
+				Key:   rstr(),
+				Kind:  OpKind(1 + rng.Intn(int(OpMin))),
+				Delta: rng.Int63n(1<<40) - (1 << 39),
+				Arg:   rbytes(),
+			})
+		}
 		return t
 	}
 	m := &Message{
@@ -169,6 +177,15 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(nil, &Message{Type: TypeMultiReadReply, Seq: 3, ReplicaID: 1, Reads: []ReadResult{
 		{Value: []byte("v"), WTS: timestamp.Timestamp{Time: 2, ClientID: 1}, OK: true},
 		{OK: false},
+	}}))
+	f.Add(Encode(nil, &Message{Type: TypeValidate, Txn: Txn{
+		ID: timestamp.TxnID{Seq: 5, ClientID: 2},
+		OpSet: []OpSetEntry{
+			{Key: "ctr", Kind: OpIncrement, Delta: 1},
+			{Key: "log", Kind: OpAppend, Arg: []byte("x")},
+			{Key: "hi", Kind: OpMax, Delta: -3},
+			{Key: "lo", Kind: OpMin, Delta: 12},
+		},
 	}}))
 	for i := 0; i < 8; i++ {
 		f.Add(Encode(nil, randomMessage(rng)))

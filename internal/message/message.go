@@ -155,10 +155,21 @@ func (s Status) String() string {
 func (s Status) Final() bool { return s == StatusCommitted || s == StatusAborted }
 
 // ReadSetEntry records one read the transaction performed during execution:
-// the key and the version (write timestamp) that was read.
+// the key, the version (write timestamp) that was read, and a hash of the
+// value observed.
+//
+// The value hash exists because of commutative ops: an op committing below
+// the latest version re-materializes the values above it, so — unlike under
+// the plain Thomas write rule — the observable value at a given WTS can
+// change after it was read. Validation therefore checks both that the read
+// saw the latest write timestamp AND that the value at that timestamp is
+// still the value the transaction observed; the hash is computed by the
+// client (HashValue over the raw bytes read), so replicas compare it against
+// their own materialization without any extra wire round trip.
 type ReadSetEntry struct {
-	Key string
-	WTS timestamp.Timestamp
+	Key   string
+	WTS   timestamp.Timestamp
+	VHash uint64
 }
 
 // WriteSetEntry records one buffered write.
@@ -167,12 +178,21 @@ type WriteSetEntry struct {
 	Value []byte
 }
 
-// Txn is a transaction's identity and read/write sets, as shipped in a
-// validate request.
+// Txn is a transaction's identity and read/write/op sets, as shipped in a
+// validate request. OpSet carries the commutative server-side operations
+// (see OpSetEntry): they validate without read-version checks and are folded
+// into the version chain at commit-timestamp order.
 type Txn struct {
 	ID       timestamp.TxnID
 	ReadSet  []ReadSetEntry
 	WriteSet []WriteSetEntry
+	OpSet    []OpSetEntry
+}
+
+// Empty reports whether the transaction carries no reads, writes, or ops —
+// the replica-side test for "this validate/accept body teaches us nothing".
+func (t *Txn) Empty() bool {
+	return len(t.ReadSet) == 0 && len(t.WriteSet) == 0 && len(t.OpSet) == 0
 }
 
 // TRecordEntry is one transaction record, as exchanged during epoch changes.

@@ -1,0 +1,132 @@
+package message
+
+import "strconv"
+
+// Commutative server-side operations. Instead of shipping a read version
+// plus a blind write (the RMW pattern OCC aborts under contention), a
+// transaction may ship the operation itself: increment by a delta, append
+// bytes, merge a maximum or minimum. Two operations of the same kind applied
+// in either order produce the same value, so the store can fold them into
+// the version chain at commit-timestamp order and validation never needs a
+// read-version check — a hot-key counter becomes a merge, not an abort.
+//
+// The operand encoding is shared with clients: Increment/MaxMerge/MinMerge
+// treat the stored value as a signed 64-bit integer in decimal ASCII
+// (FormatInt/ParseIntValue); Append is raw bytes. ApplyOp is the single
+// definition of each operation's semantics — the versioned store, WAL
+// replay, and client-side materialization all call it, so every observer
+// agrees on the merged value.
+
+// HashValue returns the 64-bit FNV-1a hash of a stored value, the function
+// behind ReadSetEntry.VHash. nil and empty hash identically (the codec does
+// not distinguish them), so a missing key and an empty value validate the
+// same way they read the same.
+func HashValue(v []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range v {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// OpKind identifies a commutative operation.
+type OpKind uint8
+
+const (
+	// OpNone is the zero value; it never appears in a valid op set.
+	OpNone OpKind = iota
+	// OpIncrement adds Delta to the value, read as a decimal int64
+	// (a missing or non-numeric value counts as 0).
+	OpIncrement
+	// OpAppend appends Arg to the value's bytes.
+	OpAppend
+	// OpMax replaces the value with max(value, Delta); a missing or
+	// non-numeric value is treated as unset, so Delta wins.
+	OpMax
+	// OpMin replaces the value with min(value, Delta), as OpMax.
+	OpMin
+)
+
+var opNames = [...]string{
+	OpNone:      "none",
+	OpIncrement: "increment",
+	OpAppend:    "append",
+	OpMax:       "max",
+	OpMin:       "min",
+}
+
+// String names the op kind.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return "op(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Valid reports whether k is one of the defined operations (not OpNone).
+func (k OpKind) Valid() bool { return k > OpNone && k <= OpMin }
+
+// Numeric reports whether k operates on the decimal-int64 interpretation of
+// the value (OpIncrement/OpMax/OpMin).
+func (k OpKind) Numeric() bool { return k == OpIncrement || k == OpMax || k == OpMin }
+
+// OpSetEntry is one commutative operation in a transaction's op set: the
+// target key, the kind, and its operand (Delta for the numeric kinds, Arg
+// for OpAppend). A transaction carries at most one op per key — the client
+// folds repeats together — so a committed op set installs exactly one new
+// version per key.
+type OpSetEntry struct {
+	Key   string
+	Kind  OpKind
+	Delta int64  // OpIncrement / OpMax / OpMin operand
+	Arg   []byte // OpAppend operand
+}
+
+// ParseIntValue reads a stored value as the decimal int64 the numeric ops
+// operate on. ok is false for a missing (nil) or non-numeric value.
+func ParseIntValue(v []byte) (int64, bool) {
+	if len(v) == 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(string(v), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// AppendIntValue formats n in the stored-value encoding, appending to dst.
+func AppendIntValue(dst []byte, n int64) []byte {
+	return strconv.AppendInt(dst, n, 10)
+}
+
+// ApplyOp returns the value produced by applying one operation to prev (nil
+// means the key had no value). The result is appended to dst — pass a
+// scratch buffer to control allocation, or nil. It never aliases prev or
+// arg. The function is total and deterministic: every input produces a
+// value, so replicas applying the same ops in the same timestamp order
+// converge byte-for-byte.
+func ApplyOp(dst []byte, prev []byte, kind OpKind, delta int64, arg []byte) []byte {
+	switch kind {
+	case OpIncrement:
+		base, _ := ParseIntValue(prev)
+		return AppendIntValue(dst, base+delta)
+	case OpMax:
+		if cur, ok := ParseIntValue(prev); ok && cur > delta {
+			return AppendIntValue(dst, cur)
+		}
+		return AppendIntValue(dst, delta)
+	case OpMin:
+		if cur, ok := ParseIntValue(prev); ok && cur < delta {
+			return AppendIntValue(dst, cur)
+		}
+		return AppendIntValue(dst, delta)
+	case OpAppend:
+		dst = append(dst, prev...)
+		return append(dst, arg...)
+	}
+	// OpNone (and unknown kinds) preserve the previous value, so a decoded
+	// record with a foreign kind degrades to a no-op rather than corrupting.
+	return append(dst, prev...)
+}

@@ -66,12 +66,12 @@ func ReleaseMessage(m *Message) {
 // Reset clears m for reuse, keeping top-level slice capacity so a recycled
 // message re-decodes (or is re-built) without reallocating its sets.
 func (m *Message) Reset() {
-	rs, ws := m.Txn.ReadSet[:0], m.Txn.WriteSet[:0]
+	rs, ws, ops := m.Txn.ReadSet[:0], m.Txn.WriteSet[:0], m.Txn.OpSet[:0]
 	recs, ents, sts := m.Records[:0], m.Entries[:0], m.State[:0]
 	keys, reads := m.Keys[:0], m.Reads[:0]
 	val := m.Value[:0]
 	*m = Message{}
-	m.Txn.ReadSet, m.Txn.WriteSet = rs, ws
+	m.Txn.ReadSet, m.Txn.WriteSet, m.Txn.OpSet = rs, ws, ops
 	m.Records, m.Entries, m.State = recs, ents, sts
 	m.Keys, m.Reads = keys, reads
 	m.Value = val

@@ -79,6 +79,8 @@ const (
 	SweepRecovery    // stalled transactions handed to the backup coordinator
 	EpochChangePause // cores paused and snapshotted by an epoch change
 	MultiReadServed  // multi-read requests answered (keys served in batches)
+	OpCommitApplied  // committed transactions carrying commutative ops
+	OpMerged         // commutative ops folded into version chains on commit
 
 	// Recovery-coordinator counters (internal/recovery).
 	EpochChangeRun   // epoch changes driven to completion
@@ -113,6 +115,8 @@ var counterNames = [NumCounters]string{
 	SweepRecovery:       "replica_sweep_recovery",
 	EpochChangePause:    "replica_epoch_change_pause",
 	MultiReadServed:     "replica_multi_read_served",
+	OpCommitApplied:     "replica_op_commit_applied",
+	OpMerged:            "replica_op_merged",
 	EpochChangeRun:      "recovery_epoch_change_run",
 	EpochMergedTxn:      "recovery_epoch_merged_txn",
 	EpochRevalidated:    "recovery_epoch_revalidated",

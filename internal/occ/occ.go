@@ -25,7 +25,7 @@ func Validate(s *vstore.Store, txn *message.Txn, ts timestamp.Timestamp) message
 	// version that ts should have observed (ts <= min(e.writers)).
 	for i := range txn.ReadSet {
 		r := &txn.ReadSet[i]
-		if !s.ValidateRead(r.Key, r.WTS, ts) {
+		if !s.ValidateRead(r.Key, r.WTS, r.VHash, ts) {
 			// Back out the readers registered so far.
 			for j := 0; j < i; j++ {
 				s.RemoveReader(txn.ReadSet[j].Key, ts)
@@ -50,6 +50,28 @@ func Validate(s *vstore.Store, txn *message.Txn, ts timestamp.Timestamp) message
 		}
 	}
 
+	// Validate the op set. A commutative op validates exactly like a write —
+	// it must not interpose before a committed or pending read — but carries
+	// no read version, so it never aborts on a concurrent writer or op: two
+	// ops on the same key at different timestamps both pass (the store merges
+	// them in timestamp order at commit), which is what turns hot-key
+	// contention into merges instead of aborts.
+	for i := range txn.OpSet {
+		o := &txn.OpSet[i]
+		if !s.ValidateWrite(o.Key, ts) {
+			for j := range txn.ReadSet {
+				s.RemoveReader(txn.ReadSet[j].Key, ts)
+			}
+			for j := range txn.WriteSet {
+				s.RemoveWriter(txn.WriteSet[j].Key, ts)
+			}
+			for j := 0; j < i; j++ {
+				s.RemoveWriter(txn.OpSet[j].Key, ts)
+			}
+			return message.StatusValidatedAbort
+		}
+	}
+
 	return message.StatusValidatedOK
 }
 
@@ -68,6 +90,10 @@ func ApplyCommit(s *vstore.Store, txn *message.Txn, ts timestamp.Timestamp) {
 	for i := range txn.WriteSet {
 		s.CommitWrite(txn.WriteSet[i].Key, txn.WriteSet[i].Value, ts)
 	}
+	for i := range txn.OpSet {
+		o := &txn.OpSet[i]
+		s.CommitOp(o.Key, o.Kind, o.Delta, o.Arg, ts)
+	}
 }
 
 // ApplyAbort backs out the pending registrations left by a successful
@@ -80,5 +106,8 @@ func ApplyAbort(s *vstore.Store, txn *message.Txn, ts timestamp.Timestamp) {
 	}
 	for i := range txn.WriteSet {
 		s.RemoveWriter(txn.WriteSet[i].Key, ts)
+	}
+	for i := range txn.OpSet {
+		s.RemoveWriter(txn.OpSet[i].Key, ts)
 	}
 }

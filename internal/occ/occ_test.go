@@ -15,6 +15,9 @@ import (
 
 func ts(t int64) timestamp.Timestamp { return timestamp.Timestamp{Time: t, ClientID: 1} }
 
+// vh hashes a value the way clients stamp ReadSetEntry.VHash.
+func vh(s string) uint64 { return message.HashValue([]byte(s)) }
+
 func tsc(t int64, c uint64) timestamp.Timestamp { return timestamp.Timestamp{Time: t, ClientID: c} }
 
 func newStore() *vstore.Store {
@@ -28,7 +31,7 @@ func newStore() *vstore.Store {
 func rmw(key string, readWTS timestamp.Timestamp, val string) *message.Txn {
 	return &message.Txn{
 		ID:       timestamp.TxnID{Seq: 1, ClientID: 1},
-		ReadSet:  []message.ReadSetEntry{{Key: key, WTS: readWTS}},
+		ReadSet:  []message.ReadSetEntry{{Key: key, WTS: readWTS, VHash: vh(key + "0")}},
 		WriteSet: []message.WriteSetEntry{{Key: key, Value: []byte(val)}},
 	}
 }
@@ -77,8 +80,8 @@ func TestValidateReadAbortCleansEarlierReads(t *testing.T) {
 	txn := &message.Txn{
 		ID: timestamp.TxnID{Seq: 1, ClientID: 1},
 		ReadSet: []message.ReadSetEntry{
-			{Key: "a", WTS: ts(1)}, // fine
-			{Key: "b", WTS: ts(1)}, // stale -> abort
+			{Key: "a", WTS: ts(1), VHash: vh("a0")}, // fine
+			{Key: "b", WTS: ts(1), VHash: vh("b0")}, // stale -> abort
 		},
 	}
 	if got := Validate(s, txn, ts(10)); got != message.StatusValidatedAbort {
@@ -94,7 +97,7 @@ func TestValidateWriteAbortCleansEverything(t *testing.T) {
 	s.CommitRead("c", ts(20)) // rts of c = 20 blocks writes below
 	txn := &message.Txn{
 		ID:      timestamp.TxnID{Seq: 1, ClientID: 1},
-		ReadSet: []message.ReadSetEntry{{Key: "a", WTS: ts(1)}},
+		ReadSet: []message.ReadSetEntry{{Key: "a", WTS: ts(1), VHash: vh("a0")}},
 		WriteSet: []message.WriteSetEntry{
 			{Key: "b", Value: []byte("b1")}, // fine
 			{Key: "c", Value: []byte("c1")}, // ts 10 < rts 20 -> abort
@@ -137,12 +140,12 @@ func TestWriteSkewBlocked(t *testing.T) {
 	s := newStore()
 	t1 := &message.Txn{
 		ID:       timestamp.TxnID{Seq: 1, ClientID: 1},
-		ReadSet:  []message.ReadSetEntry{{Key: "a", WTS: ts(1)}},
+		ReadSet:  []message.ReadSetEntry{{Key: "a", WTS: ts(1), VHash: vh("a0")}},
 		WriteSet: []message.WriteSetEntry{{Key: "b", Value: []byte("1")}},
 	}
 	t2 := &message.Txn{
 		ID:       timestamp.TxnID{Seq: 1, ClientID: 2},
-		ReadSet:  []message.ReadSetEntry{{Key: "b", WTS: ts(1)}},
+		ReadSet:  []message.ReadSetEntry{{Key: "b", WTS: ts(1), VHash: vh("b0")}},
 		WriteSet: []message.WriteSetEntry{{Key: "a", Value: []byte("2")}},
 	}
 	s1 := Validate(s, t1, tsc(10, 1))
@@ -162,7 +165,7 @@ func TestReadOnlyBelowPendingWriterCommits(t *testing.T) {
 	}
 	ro := &message.Txn{
 		ID:      timestamp.TxnID{Seq: 2, ClientID: 2},
-		ReadSet: []message.ReadSetEntry{{Key: "a", WTS: ts(1)}},
+		ReadSet: []message.ReadSetEntry{{Key: "a", WTS: ts(1), VHash: vh("a0")}},
 	}
 	if Validate(s, ro, tsc(50, 2)) != message.StatusValidatedOK {
 		t.Fatal("read below pending writer did not validate")
@@ -252,7 +255,7 @@ func TestConcurrentValidationSerializable(t *testing.T) {
 				tsv := timestamp.Timestamp{Time: int64(w*1000000 + i*100 + rng.Intn(50)), ClientID: uint64(w + 1)}
 				txn := &message.Txn{
 					ID:       timestamp.TxnID{Seq: uint64(i), ClientID: uint64(w + 1)},
-					ReadSet:  []message.ReadSetEntry{{Key: key, WTS: v.WTS}},
+					ReadSet:  []message.ReadSetEntry{{Key: key, WTS: v.WTS, VHash: message.HashValue(v.Value)}},
 					WriteSet: []message.WriteSetEntry{{Key: key, Value: []byte(fmt.Sprintf("w%d-i%d", w, i))}},
 				}
 				if Validate(s, txn, tsv) == message.StatusValidatedOK {
@@ -302,7 +305,7 @@ func BenchmarkValidateApplyRMW(b *testing.B) {
 			v, _ := s.Read(k)
 			tsv := timestamp.Timestamp{Time: int64(i + 2), ClientID: uint64(rng.Uint64())}
 			txn := &message.Txn{
-				ReadSet:  []message.ReadSetEntry{{Key: k, WTS: v.WTS}},
+				ReadSet:  []message.ReadSetEntry{{Key: k, WTS: v.WTS, VHash: message.HashValue(v.Value)}},
 				WriteSet: []message.WriteSetEntry{{Key: k, Value: []byte("v")}},
 			}
 			if Validate(s, txn, tsv) == message.StatusValidatedOK {
@@ -330,7 +333,7 @@ func TestQuickPairwiseConflictProperty(t *testing.T) {
 			for _, k := range keys {
 				if rng.Intn(2) == 0 {
 					v, _ := s.Read(k)
-					txn.ReadSet = append(txn.ReadSet, message.ReadSetEntry{Key: k, WTS: v.WTS})
+					txn.ReadSet = append(txn.ReadSet, message.ReadSetEntry{Key: k, WTS: v.WTS, VHash: message.HashValue(v.Value)})
 				}
 				if rng.Intn(2) == 0 {
 					txn.WriteSet = append(txn.WriteSet, message.WriteSetEntry{Key: k, Value: []byte("x")})

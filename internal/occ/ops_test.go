@@ -1,0 +1,218 @@
+package occ
+
+import (
+	"testing"
+
+	"meerkat/internal/message"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/vstore"
+)
+
+func opTxn(seq uint64, key string, kind message.OpKind, delta int64) *message.Txn {
+	return &message.Txn{
+		ID:    timestamp.TxnID{Seq: seq, ClientID: seq},
+		OpSet: []message.OpSetEntry{{Key: key, Kind: kind, Delta: delta}},
+	}
+}
+
+// TestConcurrentOpsNeverConflict is the tentpole's OCC property: any number
+// of commutative ops on the same key, validated concurrently (all pending at
+// once, commits interleaved), all pass validation — op-op contention merges
+// instead of aborting.
+func TestConcurrentOpsNeverConflict(t *testing.T) {
+	s := newStore()
+	const n = 16
+	txns := make([]*message.Txn, n)
+	for i := 0; i < n; i++ {
+		txns[i] = opTxn(uint64(i+1), "a", message.OpIncrement, 1)
+		// Every transaction validates while ALL earlier ones are still
+		// pending writers on "a".
+		if got := Validate(s, txns[i], ts(int64(10+i))); got != message.StatusValidatedOK {
+			t.Fatalf("op txn %d aborted with %d pending ops on the key", i, i)
+		}
+	}
+	// Commit in a scrambled order; every merge must land.
+	for _, i := range []int{3, 0, 15, 7, 1, 2, 14, 5, 4, 6, 9, 8, 11, 10, 13, 12} {
+		ApplyCommit(s, txns[i], ts(int64(10+i)))
+	}
+	v, _ := s.Read("a")
+	if string(v.Value) != "16" {
+		t.Fatalf("merged value = %q, want 16 (a0 is non-numeric, counts as 0)", v.Value)
+	}
+	if r, w := s.Pending("a"); r != 0 || w != 0 {
+		t.Fatalf("pending after commits = (%d,%d)", r, w)
+	}
+}
+
+// TestOpVsRMWConflicts pins the asymmetry: ops never abort each other, but an
+// op still respects reads — it cannot interpose before a committed or pending
+// read, and a pending op makes a concurrent read-validation fail (the read
+// cannot know the merged value yet).
+func TestOpVsRMWConflicts(t *testing.T) {
+	// A pending op blocks read validation at a later timestamp (min-writer
+	// check), exactly like a pending write would.
+	s := newStore()
+	op := opTxn(1, "a", message.OpIncrement, 1)
+	if Validate(s, op, ts(10)) != message.StatusValidatedOK {
+		t.Fatal("op validation failed on clean key")
+	}
+	r := rmw("a", ts(1), "a1")
+	if Validate(s, r, ts(20)) != message.StatusValidatedAbort {
+		t.Fatal("read at ts 20 validated past a pending op at ts 10")
+	}
+	ApplyCommit(s, op, ts(10))
+
+	// An op behind a committed read aborts: it would change a value the
+	// reader already observed.
+	s2 := newStore()
+	rd := &message.Txn{ID: timestamp.TxnID{Seq: 9, ClientID: 9},
+		ReadSet: []message.ReadSetEntry{{Key: "b", WTS: ts(1), VHash: vh("b0")}}}
+	if Validate(s2, rd, ts(50)) != message.StatusValidatedOK {
+		t.Fatal("read validation failed on clean key")
+	}
+	ApplyCommit(s2, rd, ts(50))
+	late := opTxn(2, "b", message.OpIncrement, 1)
+	if Validate(s2, late, ts(40)) != message.StatusValidatedAbort {
+		t.Fatal("op at ts 40 validated under a committed read at ts 50")
+	}
+	if _, w := s2.Pending("b"); w != 0 {
+		t.Fatalf("failed op validation left %d pending writers", w)
+	}
+}
+
+// TestOpValidateBackout asserts a failed mixed validation backs out every
+// partial registration, including op entries.
+func TestOpValidateBackout(t *testing.T) {
+	s := newStore()
+	// Commit a read at ts 50 so any writer/op below aborts on "c".
+	rd := &message.Txn{ID: timestamp.TxnID{Seq: 1, ClientID: 1},
+		ReadSet: []message.ReadSetEntry{{Key: "c", WTS: ts(1), VHash: vh("c0")}}}
+	if Validate(s, rd, ts(50)) != message.StatusValidatedOK {
+		t.Fatal("setup read failed")
+	}
+	ApplyCommit(s, rd, ts(50))
+
+	txn := &message.Txn{
+		ID:       timestamp.TxnID{Seq: 2, ClientID: 2},
+		ReadSet:  []message.ReadSetEntry{{Key: "a", WTS: ts(1), VHash: vh("a0")}},
+		WriteSet: []message.WriteSetEntry{{Key: "b", Value: []byte("x")}},
+		OpSet: []message.OpSetEntry{
+			{Key: "a", Kind: message.OpIncrement, Delta: 1},
+			{Key: "c", Kind: message.OpIncrement, Delta: 1}, // aborts here
+		},
+	}
+	if Validate(s, txn, ts(40)) != message.StatusValidatedAbort {
+		t.Fatal("validation unexpectedly passed")
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if r, w := s.Pending(k); r != 0 || w != 0 {
+			t.Fatalf("key %s left pending (%d,%d) after backout", k, r, w)
+		}
+	}
+}
+
+// TestOpAbortBackout asserts ApplyAbort clears op registrations left by a
+// successful validation.
+func TestOpAbortBackout(t *testing.T) {
+	s := newStore()
+	txn := &message.Txn{
+		ID:       timestamp.TxnID{Seq: 3, ClientID: 3},
+		WriteSet: []message.WriteSetEntry{{Key: "a", Value: []byte("x")}},
+		OpSet:    []message.OpSetEntry{{Key: "b", Kind: message.OpAppend, Arg: []byte("y")}},
+	}
+	if Validate(s, txn, ts(10)) != message.StatusValidatedOK {
+		t.Fatal("validation failed")
+	}
+	ApplyAbort(s, txn, ts(10))
+	for _, k := range []string{"a", "b"} {
+		if r, w := s.Pending(k); r != 0 || w != 0 {
+			t.Fatalf("key %s left pending (%d,%d) after abort", k, r, w)
+		}
+	}
+	if v, _ := s.Read("b"); string(v.Value) != "b0" {
+		t.Fatalf("aborted op changed the value: %q", v.Value)
+	}
+}
+
+// TestMixedTxnSerializability: a transaction carrying reads, writes, AND ops
+// keeps plain-OCC semantics for the read/write part while its op part merges.
+func TestMixedTxnSerializability(t *testing.T) {
+	s := vstore.New(vstore.Config{})
+	s.Load("bal", []byte("100"), ts(1))
+	s.Load("audit", []byte(""), ts(1))
+
+	txn := &message.Txn{
+		ID:       timestamp.TxnID{Seq: 4, ClientID: 4},
+		ReadSet:  []message.ReadSetEntry{{Key: "bal", WTS: ts(1), VHash: vh("100")}},
+		WriteSet: []message.WriteSetEntry{{Key: "bal", Value: []byte("90")}},
+		OpSet:    []message.OpSetEntry{{Key: "audit", Kind: message.OpAppend, Arg: []byte("-10;")}},
+	}
+	if Validate(s, txn, ts(10)) != message.StatusValidatedOK {
+		t.Fatal("mixed txn validation failed")
+	}
+	ApplyCommit(s, txn, ts(10))
+	if v, _ := s.Read("bal"); string(v.Value) != "90" {
+		t.Fatalf("bal = %q", v.Value)
+	}
+	if v, _ := s.Read("audit"); string(v.Value) != "-10;" {
+		t.Fatalf("audit = %q", v.Value)
+	}
+
+	// A second mixed txn whose read is now stale aborts entirely — the op
+	// does not leak through a failed validation.
+	stale := &message.Txn{
+		ID:      timestamp.TxnID{Seq: 5, ClientID: 5},
+		ReadSet: []message.ReadSetEntry{{Key: "bal", WTS: ts(1), VHash: vh("100")}}, // stale: latest is ts 10
+		OpSet:   []message.OpSetEntry{{Key: "audit", Kind: message.OpAppend, Arg: []byte("XX")}},
+	}
+	if Validate(s, stale, ts(20)) != message.StatusValidatedAbort {
+		t.Fatal("stale mixed txn validated")
+	}
+	if v, _ := s.Read("audit"); string(v.Value) != "-10;" {
+		t.Fatalf("aborted txn's op leaked: %q", v.Value)
+	}
+}
+
+// TestOpMergeBelowReadAbortsStaleReader pins the reason ReadSetEntry carries a
+// value hash. An op that merges BELOW the latest version re-materializes the
+// value at an existing wts without advancing it, so a reader who observed the
+// old value passes the timestamp equality check; only the hash comparison
+// proves it read a value that no longer exists in the serial order.
+func TestOpMergeBelowReadAbortsStaleReader(t *testing.T) {
+	s := vstore.New(vstore.Config{})
+	opA := opTxn(1, "n", message.OpIncrement, 10)
+	opB := opTxn(2, "n", message.OpIncrement, 1)
+	if Validate(s, opA, ts(20)) != message.StatusValidatedOK {
+		t.Fatal("opA validation failed")
+	}
+	if Validate(s, opB, ts(30)) != message.StatusValidatedOK {
+		t.Fatal("opB validation failed")
+	}
+	// opB commits first; a reader observes "1"@30 while opA is still pending.
+	ApplyCommit(s, opB, ts(30))
+	v, _ := s.Read("n")
+	if string(v.Value) != "1" {
+		t.Fatalf("pre-merge value = %q, want 1", v.Value)
+	}
+	rd := &message.Txn{
+		ID:      timestamp.TxnID{Seq: 8, ClientID: 8},
+		ReadSet: []message.ReadSetEntry{{Key: "n", WTS: v.WTS, VHash: message.HashValue(v.Value)}},
+	}
+	// opA merges below: the version at wts 30 re-materializes to "11".
+	ApplyCommit(s, opA, ts(20))
+	if Validate(s, rd, ts(40)) != message.StatusValidatedAbort {
+		t.Fatal("reader of a re-materialized value validated on timestamp alone")
+	}
+	// A fresh read of the merged value validates cleanly.
+	v2, _ := s.Read("n")
+	if string(v2.Value) != "11" {
+		t.Fatalf("merged value = %q, want 11", v2.Value)
+	}
+	rd2 := &message.Txn{
+		ID:      timestamp.TxnID{Seq: 9, ClientID: 9},
+		ReadSet: []message.ReadSetEntry{{Key: "n", WTS: v2.WTS, VHash: message.HashValue(v2.Value)}},
+	}
+	if Validate(s, rd2, ts(41)) != message.StatusValidatedOK {
+		t.Fatal("fresh reader of the merged value failed validation")
+	}
+}

@@ -145,7 +145,7 @@ func (t *Txn) Read(key string) ([]byte, error) {
 		return nil, err
 	}
 	t.readIdx[key] = len(t.reads)
-	t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: ver})
+	t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: ver, VHash: message.HashValue(val)})
 	t.readVals = append(t.readVals, val)
 	return val, nil
 }

@@ -258,8 +258,7 @@ func mergeTrecords(perReplica map[uint32][]message.TRecordEntry, f int, o *obs.S
 				order = append(order, e.Txn.ID)
 			}
 			// Prefer a representative that carries the transaction body.
-			if len(st.entry.Txn.ReadSet) == 0 && len(st.entry.Txn.WriteSet) == 0 &&
-				(len(e.Txn.ReadSet) > 0 || len(e.Txn.WriteSet) > 0) {
+			if st.entry.Txn.Empty() && !e.Txn.Empty() {
 				st.entry = e
 			}
 			if seen[e.Txn.ID] {

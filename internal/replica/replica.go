@@ -459,8 +459,7 @@ func (c *core) handleAccept(m *message.Message) {
 	}
 	// A replica that missed the validate learns the transaction body
 	// from the accept, so it can apply the write phase on commit.
-	if len(rec.Txn.ReadSet) == 0 && len(rec.Txn.WriteSet) == 0 &&
-		(len(m.Txn.ReadSet) > 0 || len(m.Txn.WriteSet) > 0) {
+	if rec.Txn.Empty() && !m.Txn.Empty() {
 		rec.Txn = m.Txn
 		rec.TS = m.TS
 	}
@@ -542,6 +541,10 @@ func (c *core) finalize(rec *trecord.Record, st message.Status) bool {
 		occ.ApplyCommit(c.r.store, &rec.Txn, rec.TS)
 	case wasRegistered:
 		occ.ApplyAbort(c.r.store, &rec.Txn, rec.TS)
+	}
+	if st == message.StatusCommitted && len(rec.Txn.OpSet) > 0 {
+		c.obs.Inc(obs.OpCommitApplied)
+		c.obs.Add(obs.OpMerged, uint64(len(rec.Txn.OpSet)))
 	}
 	return true
 }
@@ -663,7 +666,7 @@ func (c *core) install(p *trecord.Partition, e *message.TRecordEntry) {
 	if rec.Status.Final() {
 		return
 	}
-	if len(rec.Txn.ReadSet) == 0 && len(rec.Txn.WriteSet) == 0 {
+	if rec.Txn.Empty() {
 		rec.Txn = e.Txn
 		rec.TS = e.TS
 	}

@@ -42,6 +42,7 @@ func Calibrate() Params {
 		}
 		v, _ := store.Read(k)
 		txn.ReadSet[0].WTS = v.WTS
+		txn.ReadSet[0].VHash = message.HashValue(v.Value)
 		if occ.Validate(store, txn, ts) == message.StatusValidatedOK {
 			occ.ApplyCommit(store, txn, ts)
 		}

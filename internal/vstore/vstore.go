@@ -27,13 +27,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"meerkat/internal/message"
 	"meerkat/internal/timestamp"
 )
 
-// Version is one committed value of a key.
+// Version is one committed value of a key. A version produced by a
+// commutative operation (CommitOp) records the operation alongside the
+// materialized value: Op/OpDelta/OpArg are the merge record that lets the
+// store re-materialize this version when an older write or op is folded in
+// beneath it. Plain writes have Op == OpNone and their value never depends
+// on a predecessor.
 type Version struct {
-	Value []byte
-	WTS   timestamp.Timestamp // timestamp of the transaction that wrote it
+	Value   []byte
+	WTS     timestamp.Timestamp // timestamp of the transaction that wrote it
+	Op      message.OpKind      // OpNone for plain writes
+	OpDelta int64               // numeric-op operand
+	OpArg   []byte              // append-op operand
 }
 
 // tsSet is a small unordered set of timestamps. Pending reader/writer sets
@@ -109,6 +118,22 @@ type entry struct {
 	// before, and delta state transfer must still ship it to a replica that
 	// was down when the commit was applied. See ExportShardSince.
 	appliedAt int64
+
+	// baseTrimmed records that the value preceding versions[0] is unknown:
+	// either installLocked trimmed history to MaxVersions, or the entry was
+	// imported via state transfer (which ships only the latest version). An
+	// op folded in below versions[0] then cannot re-materialize from its
+	// true predecessor and takes the arithmetic-recovery path instead.
+	baseTrimmed bool
+
+	// vhash caches message.HashValue of the latest version's value,
+	// refreshed by publishLatestLocked. Read validation compares it against
+	// the hash the client computed over the bytes it read: an op that merged
+	// below the latest version re-materializes the value WITHOUT advancing
+	// wts, so matching timestamps alone would let a reader validate against
+	// a value that no longer exists. Meaningful only when versions is
+	// non-empty (the empty chain validates as HashValue(nil)).
+	vhash uint64
 }
 
 // wtsLocked returns the latest committed write timestamp (Zero if none).
@@ -138,6 +163,13 @@ type Store struct {
 	shards      []shard
 	mask        uint64
 	maxVersions int
+
+	// Commutative-op telemetry: opsMerged counts committed ops folded into
+	// version chains; opsRecovered counts the out-of-window folds that had
+	// to use arithmetic recovery because the op's predecessor version was
+	// trimmed (see entry.recoverPrefixLocked).
+	opsMerged    atomic.Uint64
+	opsRecovered atomic.Uint64
 }
 
 // shard holds one slice of the key index. sync.Map fits the access pattern
@@ -254,14 +286,24 @@ func (s *Store) ReadAt(key string, ts timestamp.Timestamp) (Version, bool) {
 
 // ValidateRead performs the read-set half of the paper's Algorithm 1 for a
 // single key: it aborts if the latest committed version is newer than the
-// one the transaction read (e.wts > readWTS), or if a pending writer could
-// commit between that version and ts (ts > min(writers)). On success the
-// transaction's timestamp is recorded in the key's pending readers.
-func (s *Store) ValidateRead(key string, readWTS, ts timestamp.Timestamp) bool {
+// one the transaction read (e.wts > readWTS), if the value at that version
+// is no longer the value the transaction observed (readVHash differs — a
+// commutative op merged in below it; see entry.vhash), or if a pending
+// writer could commit between that version and ts (ts > min(writers)). On
+// success the transaction's timestamp is recorded in the key's pending
+// readers.
+func (s *Store) ValidateRead(key string, readWTS timestamp.Timestamp, readVHash uint64, ts timestamp.Timestamp) bool {
 	e := s.getOrCreate(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if readWTS.Less(e.wtsLocked()) {
+		return false
+	}
+	h := emptyVHash
+	if len(e.versions) > 0 {
+		h = e.vhash
+	}
+	if h != readVHash {
 		return false
 	}
 	if w, ok := e.writers.min(); ok && w.Less(ts) {
@@ -270,6 +312,9 @@ func (s *Store) ValidateRead(key string, readWTS, ts timestamp.Timestamp) bool {
 	e.readers.add(ts)
 	return true
 }
+
+// emptyVHash is the hash a client computes for a missing key (it read nil).
+var emptyVHash = message.HashValue(nil)
 
 // ValidateWrite performs the write-set half of Algorithm 1 for a single key:
 // it aborts if the write at ts would interpose itself before a committed
@@ -333,23 +378,196 @@ func (s *Store) CommitWrite(key string, value []byte, ts timestamp.Timestamp) {
 	e.mu.Unlock()
 }
 
-// installLocked appends (value, ts) to the version chain if ts is newer than
-// the latest version; otherwise it applies the Thomas write rule. Caller
-// holds e.mu. On install it publishes the new version through e.latest, so
-// lock-free readers observe it atomically; the published Version is a copy
-// and is never mutated afterwards (versions may be trimmed or moved, the
-// snapshot may not alias them).
-func (e *entry) installLocked(value []byte, ts timestamp.Timestamp, maxVersions int) {
-	if ts.Less(e.wtsLocked()) || ts == e.wtsLocked() {
-		return // Thomas write rule: the stale write is never observable
+// CommitOp finalizes a committed commutative operation: it clears the pending
+// writer registration and folds the op into the version chain at ts. Unlike a
+// blind write, an op that arrives out of timestamp order is not dropped by the
+// Thomas rule — it is merged at its position and the newer op-versions above
+// it are re-materialized, so every replica converges on the value of applying
+// all committed ops in timestamp order regardless of arrival order.
+//
+// delta carries the operand for numeric kinds (Increment/Max/Min); arg carries
+// the appended bytes for Append. The caller may not mutate arg afterwards (the
+// version chain retains it, like CommitWrite retains value).
+func (s *Store) CommitOp(key string, kind message.OpKind, delta int64, arg []byte, ts timestamp.Timestamp) {
+	if !kind.Valid() {
+		s.RemoveWriter(key, ts)
+		return
 	}
-	e.versions = append(e.versions, Version{Value: value, WTS: ts})
+	e := s.getOrCreate(key)
+	e.mu.Lock()
+	e.writers.remove(ts)
+	recovered := e.insertLocked(Version{WTS: ts, Op: kind, OpDelta: delta, OpArg: arg}, s.maxVersions)
+	e.mu.Unlock()
+	s.opsMerged.Add(1)
+	if recovered {
+		s.opsRecovered.Add(1)
+	}
+}
+
+// OpStats reports the commutative-op counters: merged is the number of
+// committed ops folded into version chains, recovered the subset that
+// arrived below the retained history and took the arithmetic-recovery path
+// (see recoverPrefixLocked).
+func (s *Store) OpStats() (merged, recovered uint64) {
+	return s.opsMerged.Load(), s.opsRecovered.Load()
+}
+
+// installLocked appends a plain write (value, ts) to the version chain, or —
+// when ts is older than the latest version — folds it in at its timestamp
+// position (see insertLocked). Caller holds e.mu.
+func (e *entry) installLocked(value []byte, ts timestamp.Timestamp, maxVersions int) {
+	e.insertLocked(Version{Value: value, WTS: ts}, maxVersions)
+}
+
+// insertLocked folds one committed version — a plain write or a commutative
+// op (v.Op != OpNone, v.Value ignored) — into the chain at its timestamp
+// position. Caller holds e.mu. It publishes the chain's (possibly new) last
+// version through e.latest; the published Version is a copy and is never
+// mutated afterwards (versions may be trimmed, moved, or re-materialized —
+// the snapshot may not alias them).
+//
+// The rules, in order:
+//
+//   - A version with the same WTS already exists: skip. Commit records are
+//     replayed (WAL recovery, duplicate finalize), and a transaction installs
+//     at most one version per key, so same-WTS means already applied.
+//   - ts is newer than every retained version: append. Ops materialize from
+//     the previous latest value here — the hot path.
+//   - The next-newer retained version is a plain write: skip. This is the
+//     Thomas write rule extended to ops — the plain write's value does not
+//     depend on its predecessor, so it masks the incoming version entirely.
+//     It is also what makes state-transfer imports idempotent: an imported
+//     materialized value (always Op == OpNone) at a newer WTS absorbs any
+//     late replay of the ops whose effects it already includes.
+//   - The next-newer retained version is an op: insert at position, then
+//     re-materialize the run of op-versions above from their new
+//     predecessors, stopping at the first plain write (which masks
+//     everything below it). A plain write inserted this way supplies the
+//     base itself; an op needs its predecessor's value — if that
+//     predecessor was trimmed (baseTrimmed and position 0), exact
+//     re-materialization is impossible and recoverPrefixLocked folds the
+//     op into the retained prefix arithmetically instead.
+//
+// Returns true when the op had to take the arithmetic-recovery path.
+func (e *entry) insertLocked(v Version, maxVersions int) (recovered bool) {
+	if !timestamp.Zero.Less(v.WTS) {
+		// The empty chain behaves as a plain write at the Zero timestamp:
+		// versions at or below it are never observable.
+		return false
+	}
+	pos := len(e.versions)
+	for pos > 0 && v.WTS.Less(e.versions[pos-1].WTS) {
+		pos--
+	}
+	if pos > 0 && e.versions[pos-1].WTS == v.WTS {
+		return false // already applied (idempotent replay)
+	}
+	if pos == len(e.versions) {
+		// Append path: newer than everything retained.
+		if v.Op != message.OpNone {
+			var prev []byte
+			if pos > 0 {
+				prev = e.versions[pos-1].Value
+			}
+			v.Value = message.ApplyOp(nil, prev, v.Op, v.OpDelta, v.OpArg)
+		}
+		e.versions = append(e.versions, v)
+	} else if e.versions[pos].Op == message.OpNone {
+		return false // masked by a newer plain write (Thomas write rule)
+	} else if v.Op != message.OpNone && pos == 0 && e.baseTrimmed {
+		// The op's predecessor was trimmed: fold it into the retained
+		// op-run arithmetically.
+		e.recoverPrefixLocked(v.Op, v.OpDelta, v.OpArg)
+		e.publishLatestLocked()
+		return true
+	} else {
+		if v.Op != message.OpNone {
+			var prev []byte
+			if pos > 0 {
+				prev = e.versions[pos-1].Value
+			}
+			v.Value = message.ApplyOp(nil, prev, v.Op, v.OpDelta, v.OpArg)
+		}
+		e.versions = append(e.versions, Version{})
+		copy(e.versions[pos+1:], e.versions[pos:])
+		e.versions[pos] = v
+		// Re-materialize the op-run above the insert from its new
+		// predecessors; the first plain write is independent of them.
+		for j := pos + 1; j < len(e.versions) && e.versions[j].Op != message.OpNone; j++ {
+			e.versions[j].Value = message.ApplyOp(nil, e.versions[j-1].Value,
+				e.versions[j].Op, e.versions[j].OpDelta, e.versions[j].OpArg)
+		}
+	}
 	if maxVersions > 0 && len(e.versions) > maxVersions {
 		n := copy(e.versions, e.versions[len(e.versions)-maxVersions:])
 		e.versions = e.versions[:n]
+		e.baseTrimmed = true
 	}
-	e.latest.Store(&Version{Value: value, WTS: ts})
+	e.publishLatestLocked()
+	return false
+}
+
+// publishLatestLocked refreshes the lock-free read snapshot from the chain's
+// last version. Caller holds e.mu. Always stores a fresh copy: the chain's
+// backing array may be trimmed, shifted, or re-materialized later, and the
+// published snapshot must never alias mutable storage.
+func (e *entry) publishLatestLocked() {
+	last := &e.versions[len(e.versions)-1]
+	e.latest.Store(&Version{Value: last.Value, WTS: last.WTS, Op: last.Op,
+		OpDelta: last.OpDelta, OpArg: last.OpArg})
+	e.vhash = message.HashValue(last.Value)
 	e.appliedAt = time.Now().UnixNano()
+}
+
+// recoverPrefixLocked folds an op whose true position is below every
+// retained version into the retained prefix. Exact reconstruction needs the
+// trimmed predecessor value, which is gone; but the op algebra still allows
+// exact recovery for the common same-kind runs:
+//
+//   - increment: adding delta below an increment run shifts every
+//     materialized sum in the run by delta.
+//   - max/min: folding the operand into each accumulated extreme is the
+//     same as merging it first (associative + commutative).
+//   - append: each run value is <lost base> + <args so far>; the incoming
+//     arg splices in front of the accumulated suffix.
+//
+// The fold stops at the first plain write, which masks the op. Mixed-kind
+// runs fall back to the same per-version folds, which is best-effort (the
+// interleaving of kinds is not invertible without the base); both paths are
+// deterministic, and the caller counts every recovery so operators can see
+// when history pressure (MaxVersions too small for the op reordering window)
+// is costing precision.
+func (e *entry) recoverPrefixLocked(kind message.OpKind, delta int64, arg []byte) {
+	suffixLen := 0
+	for j := 0; j < len(e.versions) && e.versions[j].Op != message.OpNone; j++ {
+		v := &e.versions[j]
+		switch kind {
+		case message.OpIncrement:
+			base, _ := message.ParseIntValue(v.Value)
+			v.Value = message.AppendIntValue(nil, base+delta)
+		case message.OpMax:
+			if cur, ok := message.ParseIntValue(v.Value); !ok || cur < delta {
+				v.Value = message.AppendIntValue(nil, delta)
+			}
+		case message.OpMin:
+			if cur, ok := message.ParseIntValue(v.Value); !ok || cur > delta {
+				v.Value = message.AppendIntValue(nil, delta)
+			}
+		case message.OpAppend:
+			if v.Op == message.OpAppend {
+				suffixLen += len(v.OpArg)
+			}
+			cut := len(v.Value) - suffixLen
+			if cut < 0 {
+				cut = 0
+			}
+			nv := make([]byte, 0, len(v.Value)+len(arg))
+			nv = append(nv, v.Value[:cut]...)
+			nv = append(nv, arg...)
+			nv = append(nv, v.Value[cut:]...)
+			v.Value = nv
+		}
+	}
 }
 
 // Pending reports the sizes of the key's pending reader and writer sets.
@@ -479,7 +697,15 @@ func (s *Store) ExportShardSince(i int, since timestamp.Timestamp, sinceWall int
 func (s *Store) ImportState(states []KeyState) {
 	for i := range states {
 		st := &states[i]
-		s.Load(st.Key, st.Value, st.WTS)
+		e := s.getOrCreate(st.Key)
+		e.mu.Lock()
+		e.installLocked(st.Value, st.WTS, s.maxVersions)
+		// A transferred state carries only the materialized latest value —
+		// the history beneath it lives on the exporting replica. Mark the
+		// base unknown so a commutative op replayed from below the imported
+		// version folds arithmetically instead of trusting a missing prefix.
+		e.baseTrimmed = true
+		e.mu.Unlock()
 		if !st.RTS.IsZero() {
 			s.CommitRead(st.Key, st.RTS)
 		}

@@ -7,10 +7,14 @@ import (
 	"testing"
 	"testing/quick"
 
+	"meerkat/internal/message"
 	"meerkat/internal/timestamp"
 )
 
 func ts(t int64) timestamp.Timestamp { return timestamp.Timestamp{Time: t, ClientID: 1} }
+
+// vh hashes a value the way a client computing ReadSetEntry.VHash would.
+func vh(v string) uint64 { return message.HashValue([]byte(v)) }
 
 func TestReadMissingKey(t *testing.T) {
 	s := New(Config{})
@@ -98,7 +102,7 @@ func TestValidateReadFreshVersion(t *testing.T) {
 	s := New(Config{})
 	s.Load("k", []byte("v"), ts(5))
 	// Reader saw version 5, proposes ts 10: OK.
-	if !s.ValidateRead("k", ts(5), ts(10)) {
+	if !s.ValidateRead("k", ts(5), vh("v"), ts(10)) {
 		t.Fatal("fresh read failed validation")
 	}
 	r, w := s.Pending("k")
@@ -112,7 +116,7 @@ func TestValidateReadStaleVersion(t *testing.T) {
 	s.Load("k", []byte("v"), ts(5))
 	s.CommitWrite("k", []byte("v2"), ts(8))
 	// Reader saw version 5 but latest is 8: must abort.
-	if s.ValidateRead("k", ts(5), ts(10)) {
+	if s.ValidateRead("k", ts(5), vh("v"), ts(10)) {
 		t.Fatal("stale read passed validation")
 	}
 	if r, _ := s.Pending("k"); r != 0 {
@@ -128,11 +132,11 @@ func TestValidateReadPendingWriterBelow(t *testing.T) {
 	}
 	// A pending writer at 7 < our read ts 10: even if it commits, our read
 	// of version 5 would be stale as of 10. Abort.
-	if s.ValidateRead("k", ts(5), ts(10)) {
+	if s.ValidateRead("k", ts(5), vh("v"), ts(10)) {
 		t.Fatal("read above a pending writer passed validation")
 	}
 	// But a read below the pending writer is fine.
-	if !s.ValidateRead("k", ts(5), ts(6)) {
+	if !s.ValidateRead("k", ts(5), vh("v"), ts(6)) {
 		t.Fatal("read below pending writer failed validation")
 	}
 }
@@ -152,7 +156,7 @@ func TestValidateWriteBelowRTS(t *testing.T) {
 func TestValidateWriteBelowPendingReader(t *testing.T) {
 	s := New(Config{})
 	s.Load("k", []byte("v"), ts(5))
-	if !s.ValidateRead("k", ts(5), ts(10)) {
+	if !s.ValidateRead("k", ts(5), vh("v"), ts(10)) {
 		t.Fatal("setup read failed")
 	}
 	// Write at 8 would interpose between version 5 and the pending read
@@ -168,7 +172,7 @@ func TestValidateWriteBelowPendingReader(t *testing.T) {
 func TestAbortCleanup(t *testing.T) {
 	s := New(Config{})
 	s.Load("k", []byte("v"), ts(5))
-	s.ValidateRead("k", ts(5), ts(10))
+	s.ValidateRead("k", ts(5), vh("v"), ts(10))
 	s.ValidateWrite("k", ts(10))
 	s.RemoveReader("k", ts(10))
 	s.RemoveWriter("k", ts(10))
@@ -184,7 +188,7 @@ func TestAbortCleanup(t *testing.T) {
 func TestCommitReadAdvancesRTS(t *testing.T) {
 	s := New(Config{})
 	s.Load("k", []byte("v"), ts(5))
-	s.ValidateRead("k", ts(5), ts(10))
+	s.ValidateRead("k", ts(5), vh("v"), ts(10))
 	s.CommitRead("k", ts(10))
 	if _, rts := s.Meta("k"); rts != ts(10) {
 		t.Fatalf("rts = %v, want %v", rts, ts(10))
@@ -215,12 +219,12 @@ func TestFirstWriteOfKey(t *testing.T) {
 	// Reading a missing key yields WTS Zero; a concurrent first write must
 	// then invalidate the read.
 	s := New(Config{})
-	if !s.ValidateRead("k", timestamp.Zero, ts(10)) {
+	if !s.ValidateRead("k", timestamp.Zero, vh(""), ts(10)) {
 		t.Fatal("read of missing key failed validation")
 	}
 	s.RemoveReader("k", ts(10))
 	s.CommitWrite("k", []byte("v"), ts(5))
-	if s.ValidateRead("k", timestamp.Zero, ts(10)) {
+	if s.ValidateRead("k", timestamp.Zero, vh(""), ts(10)) {
 		t.Fatal("read validated against Zero version after a write committed")
 	}
 }
@@ -331,7 +335,7 @@ func TestConcurrentDisjointKeys(t *testing.T) {
 			for i := 0; i < perWorker; i++ {
 				key := fmt.Sprintf("w%d-k%d", w, i)
 				tsv := timestamp.Timestamp{Time: int64(i + 1), ClientID: uint64(w)}
-				if !s.ValidateRead(key, timestamp.Zero, tsv) {
+				if !s.ValidateRead(key, timestamp.Zero, vh(""), tsv) {
 					errs <- fmt.Errorf("read validation failed for %s", key)
 					return
 				}
@@ -368,7 +372,7 @@ func TestConcurrentSameKeyNoTornState(t *testing.T) {
 			for i := 0; i < 2000; i++ {
 				tsv := timestamp.Timestamp{Time: int64(rng.Intn(1000000)), ClientID: uint64(w + 1)}
 				v, _ := s.Read("hot")
-				okR := s.ValidateRead("hot", v.WTS, tsv)
+				okR := s.ValidateRead("hot", v.WTS, message.HashValue(v.Value), tsv)
 				okW := okR && s.ValidateWrite("hot", tsv)
 				if okR && okW {
 					s.CommitRead("hot", tsv)
@@ -428,7 +432,7 @@ func BenchmarkValidateCommitDisjoint(b *testing.B) {
 			k := keys[i&(n-1)]
 			tsv := timestamp.Timestamp{Time: int64(i + 2), ClientID: uint64(i)}
 			v, _ := s.Read(k)
-			if s.ValidateRead(k, v.WTS, tsv) && s.ValidateWrite(k, tsv) {
+			if s.ValidateRead(k, v.WTS, message.HashValue(v.Value), tsv) && s.ValidateWrite(k, tsv) {
 				s.CommitRead(k, tsv)
 				s.CommitWrite(k, []byte("value"), tsv)
 			}

@@ -48,9 +48,10 @@ type Recovered struct {
 // Store is one replica's durability state: a per-core set of write-ahead
 // logs plus the snapshot/manifest machinery that truncates them.
 type Store struct {
-	dir  string
-	opts Options
-	logs []*Log
+	dir      string
+	opts     Options
+	logs     []*Log
+	ownSched *Scheduler // private group-commit scheduler, if Options had none
 
 	snapMu  sync.Mutex // serializes snapshots (and protects snapSeq)
 	snapSeq uint64
@@ -100,6 +101,12 @@ func Open(dir string, cores int, opts Options) (*Store, *Recovered, error) {
 	if man != nil {
 		s.snapSeq = man.Seq
 	}
+	if opts.Scheduler == nil {
+		// One scheduler for all of this store's cores: their fsyncs batch
+		// into (almost) one journal commit per tick instead of one each.
+		s.ownSched = NewScheduler(opts.GroupCommitInterval)
+		opts.Scheduler = s.ownSched
+	}
 	for c := 0; c < cores; c++ {
 		l, rs, err := openLog(coreDir(dir, c), opts, func(m *message.Message) error {
 			occ.ApplyCommit(vs, &m.Txn, m.TS)
@@ -108,6 +115,9 @@ func Open(dir string, cores int, opts Options) (*Store, *Recovered, error) {
 		if err != nil {
 			for _, open := range s.logs {
 				open.Close()
+			}
+			if s.ownSched != nil {
+				s.ownSched.Stop()
 			}
 			return nil, nil, err
 		}
@@ -405,6 +415,9 @@ func (s *Store) Close() error {
 			first = err
 		}
 	}
+	if s.ownSched != nil {
+		s.ownSched.Stop()
+	}
 	return first
 }
 
@@ -421,6 +434,9 @@ func (s *Store) Crash() {
 	s.stopSnapshotter()
 	for _, l := range s.logs {
 		l.Crash()
+	}
+	if s.ownSched != nil {
+		s.ownSched.Stop()
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// fileSync makes f's appended data durable (portable full fsync).
+func fileSync(f *os.File) error { return f.Sync() }

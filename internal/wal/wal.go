@@ -98,6 +98,12 @@ type Options struct {
 	// GroupCommitInterval is the SyncBatch fsync cadence (also the write
 	// drain cadence under SyncNone). Default 2ms.
 	GroupCommitInterval time.Duration
+	// Scheduler, when set, drives group commit for every log opened with
+	// these options instead of a private per-store scheduler. Sharing one
+	// scheduler across the stores that live on the same filesystem batches
+	// their fsyncs into one journal commit per tick (see Scheduler). The
+	// caller keeps ownership and must Stop it after the stores close.
+	Scheduler *Scheduler
 	// SnapshotInterval is how often Store.StartSnapshotter serializes the
 	// versioned store and truncates logs behind it. Default 30s.
 	SnapshotInterval time.Duration
@@ -127,12 +133,120 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 const frameHeader = 8
 
 // flushHighWater is the pending-buffer size past which an append kicks the
-// group-commit goroutine instead of waiting for its next tick.
-const flushHighWater = 1 << 20
+// group-commit scheduler instead of waiting for its next tick. It is a
+// memory backstop for when the disk falls behind the append rate, so it is
+// sized to a few ticks' worth of records under heavy load, not to fire on
+// every burst (each early kick is an extra journal commit).
+const flushHighWater = 256 << 10
 
 // maxRetainedBuffer bounds the capacity a drained pending buffer may carry
 // back for reuse, so one burst does not pin memory forever.
 const maxRetainedBuffer = 4 << 20
+
+// Scheduler is the group-commit driver for a set of logs: one goroutine
+// that, every GroupCommitInterval, makes two passes over the registered
+// logs — first writing every pending buffer to its file, then fsyncing the
+// dirty files back-to-back. The two-pass order is what makes per-core logs
+// affordable on one filesystem: the first fsync's journal commit already
+// carries the data just written to every other log, so the remaining fsyncs
+// find almost nothing left to flush. Independent per-log fsync loops (the
+// previous design) each paid a full journal commit — with R replicas × C
+// cores on one disk that is R·C commits per tick, and the resulting
+// journal-commit storm starves the CPU and collapses goodput long before
+// the commit path ever waits on a lock.
+//
+// A store with no Options.Scheduler gets a private one (its cores still
+// batch with each other); a cluster hosting several replicas in one process
+// should share a single scheduler across them.
+type Scheduler struct {
+	interval time.Duration
+
+	mu      sync.Mutex
+	logs    []*Log
+	scratch []*Log // reused snapshot of logs for lock-free passes
+
+	kickCh   chan struct{}
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+}
+
+// NewScheduler starts a group-commit scheduler ticking every interval
+// (default 2ms). Stop it after every log registered with it has closed.
+func NewScheduler(interval time.Duration) *Scheduler {
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	s := &Scheduler{
+		interval: interval,
+		kickCh:   make(chan struct{}, 1),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+func (s *Scheduler) register(l *Log) {
+	s.mu.Lock()
+	s.logs = append(s.logs, l)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) unregister(l *Log) {
+	s.mu.Lock()
+	for i, o := range s.logs {
+		if o == l {
+			s.logs = append(s.logs[:i], s.logs[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// kick wakes the scheduler ahead of its tick (high-water backstop).
+func (s *Scheduler) kick() {
+	select {
+	case s.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+// run is the group-commit goroutine: write pass, then sync pass.
+func (s *Scheduler) run() {
+	defer close(s.doneCh)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+		case <-s.kickCh:
+		}
+		s.mu.Lock()
+		logs := append(s.scratch[:0], s.logs...)
+		s.mu.Unlock()
+		for _, l := range logs {
+			l.flush(false)
+		}
+		for _, l := range logs {
+			if l.opts.Sync == SyncBatch {
+				l.syncOnly()
+			}
+		}
+		s.mu.Lock()
+		s.scratch = logs[:0]
+		s.mu.Unlock()
+	}
+}
+
+// Stop shuts the scheduler goroutine down. Pending records are not flushed —
+// close the logs first (Log.Close flushes and fsyncs on its own).
+func (s *Scheduler) Stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	<-s.doneCh
+}
 
 // appendFrame appends one CRC frame carrying the encoding of m to buf.
 func appendFrame(buf []byte, m *message.Message) []byte {
@@ -232,10 +346,8 @@ type Log struct {
 	errMu   sync.Mutex
 	lastErr error // latest IO failure (sticky until read via Err)
 
-	kickCh   chan struct{}
-	stopCh   chan struct{}
-	doneCh   chan struct{}
-	stopOnce sync.Once
+	sched    *Scheduler
+	ownSched bool // the log created sched and must stop it on Close/Crash
 }
 
 // segName formats a segment file name; segment numbers start at 1.
@@ -291,12 +403,12 @@ func openLog(dir string, opts Options, apply func(m *message.Message) error) (*L
 		return nil, stats, err
 	}
 
-	l := &Log{
-		dir:    dir,
-		opts:   opts,
-		kickCh: make(chan struct{}, 1),
-		stopCh: make(chan struct{}),
-		doneCh: make(chan struct{}),
+	l := &Log{dir: dir, opts: opts}
+	if opts.Scheduler != nil {
+		l.sched = opts.Scheduler
+	} else {
+		l.sched = NewScheduler(opts.GroupCommitInterval)
+		l.ownSched = true
 	}
 
 	active := uint64(1)
@@ -352,7 +464,7 @@ func openLog(dir string, opts Options, apply func(m *message.Message) error) (*L
 		return nil, stats, err
 	}
 	l.f, l.seg, l.size = f, active, activeSize
-	go l.run()
+	l.sched.register(l)
 	return l, stats, nil
 }
 
@@ -444,12 +556,14 @@ func (l *Log) encodeLocked(txn *message.Txn, ts timestamp.Timestamp) {
 	l.scratch.Txn.ID = txn.ID
 	l.scratch.Txn.ReadSet = txn.ReadSet
 	l.scratch.Txn.WriteSet = txn.WriteSet
+	l.scratch.Txn.OpSet = txn.OpSet
 	l.scratch.TS = ts
 	l.pending = appendFrame(l.pending, &l.scratch)
 	// Drop the aliases so the log does not pin the transaction's sets
 	// until the next append.
 	l.scratch.Txn.ReadSet = nil
 	l.scratch.Txn.WriteSet = nil
+	l.scratch.Txn.OpSet = nil
 }
 
 // AppendLoad records a bulk-load install (Cluster.Load bypasses the
@@ -459,31 +573,26 @@ func (l *Log) AppendLoad(key string, value []byte, ts timestamp.Timestamp) {
 	l.AppendCommit(&txn, ts)
 }
 
-// kick wakes the group-commit goroutine ahead of its tick.
-func (l *Log) kick() {
-	select {
-	case l.kickCh <- struct{}{}:
-	default:
-	}
-}
+// kick wakes the group-commit scheduler ahead of its tick.
+func (l *Log) kick() { l.sched.kick() }
 
-// run is the group-commit goroutine: every GroupCommitInterval (or when
-// kicked by a high-water append) it drains the pending buffer to the active
-// segment and, under SyncBatch, fsyncs — one disk flush covering every
-// commit of the window.
-func (l *Log) run() {
-	defer close(l.doneCh)
-	t := time.NewTicker(l.opts.GroupCommitInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-l.stopCh:
-			return
-		case <-t.C:
-		case <-l.kickCh:
-		}
-		l.flush(l.opts.Sync == SyncBatch)
+// syncOnly fsyncs the active segment if bytes were written since the last
+// sync — the scheduler's second pass, after every registered log's pending
+// buffer has been written.
+func (l *Log) syncOnly() {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if l.f == nil || !l.dirty {
+		return
 	}
+	if err := fileSync(l.f); err != nil {
+		// The frames are in the file (dirty stays true); the next syncing
+		// pass retries.
+		l.fail(err)
+		return
+	}
+	l.dirty = false
+	l.syncs.Add(1)
 }
 
 // flush drains the pending buffer into the active segment, optionally
@@ -537,7 +646,7 @@ func (l *Log) flushWLocked(sync bool) error {
 	}
 	var err error
 	if sync && l.dirty {
-		if serr := l.f.Sync(); serr != nil {
+		if serr := fileSync(l.f); serr != nil {
 			// The frames are in the file (dirty stays true); the next
 			// syncing flush retries the fsync.
 			l.fail(serr)
@@ -598,7 +707,7 @@ func (l *Log) Err() error {
 // the next one. Caller holds l.wmu.
 func (l *Log) rotateWLocked() error {
 	if l.opts.Sync != SyncNone && l.dirty {
-		if err := l.f.Sync(); err != nil {
+		if err := fileSync(l.f); err != nil {
 			return err
 		}
 		l.dirty = false
@@ -660,8 +769,8 @@ func (l *Log) TruncateBefore(seg uint64) error {
 // Flush forces pending records to disk (write + fsync) regardless of policy.
 func (l *Log) Flush() error { return l.flush(true) }
 
-// Close gracefully shuts the log down: stop the group-commit goroutine,
-// flush and fsync everything pending, close the file.
+// Close gracefully shuts the log down: detach from the group-commit
+// scheduler, flush and fsync everything pending, close the file.
 func (l *Log) Close() error {
 	l.stopRun()
 	l.mu.Lock()
@@ -698,8 +807,10 @@ func (l *Log) Crash() {
 }
 
 func (l *Log) stopRun() {
-	l.stopOnce.Do(func() { close(l.stopCh) })
-	<-l.doneCh
+	l.sched.unregister(l)
+	if l.ownSched {
+		l.sched.Stop()
+	}
 }
 
 // Stats returns the log's cumulative write counters.

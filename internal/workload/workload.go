@@ -13,19 +13,22 @@ import (
 )
 
 // TxnSpec is one generated transaction: keys that are only read, keys that
-// are read and then rewritten (read-modify-write), and keys that are blindly
-// written. All keys within a spec are distinct.
+// are read and then rewritten (read-modify-write), keys that are blindly
+// written, and keys bumped by a server-side increment (no read, no
+// read-version — the commutative-op alternative to an RMW). All keys within
+// a spec are distinct.
 type TxnSpec struct {
 	Reads  []string
 	RMWs   []string
 	Writes []string
+	Incrs  []string
 	// Kind labels the transaction type (for mix accounting).
 	Kind string
 }
 
 // NumOps returns the total operation count (reads + writes) of the spec.
 func (s *TxnSpec) NumOps() int {
-	return len(s.Reads) + 2*len(s.RMWs) + len(s.Writes)
+	return len(s.Reads) + 2*len(s.RMWs) + len(s.Writes) + len(s.Incrs)
 }
 
 // AppendGets appends every key the transaction reads — plain reads first,
@@ -198,6 +201,41 @@ func (y *YCSBT) Next(rng *rand.Rand) TxnSpec {
 		RMWs: []string{KeyName(y.chooser.Next(rng))},
 		Kind: "rmw",
 	}
+}
+
+// Counter is the hot-counter workload of the commutative-op comparison:
+// every transaction bumps one chooser-picked key. With ViaOp false it is the
+// abort-prone OCC pattern (read the counter, write value+1 back); with ViaOp
+// true the same logical update ships as a server-side increment carrying no
+// read version, so concurrent bumps merge at the replicas instead of
+// aborting each other. Same key popularity, same logical work — the
+// difference in abort rate and goodput is exactly what typed ops buy.
+type Counter struct {
+	chooser KeyChooser
+	// ViaOp selects the increment-op encoding over read+write-back.
+	ViaOp bool
+}
+
+// NewCounter returns a counter generator over keys chosen by chooser.
+func NewCounter(chooser KeyChooser, viaOp bool) *Counter {
+	return &Counter{chooser: chooser, ViaOp: viaOp}
+}
+
+// Name implements Generator.
+func (c *Counter) Name() string {
+	if c.ViaOp {
+		return "counter-incr"
+	}
+	return "counter-rmw"
+}
+
+// Next implements Generator.
+func (c *Counter) Next(rng *rand.Rand) TxnSpec {
+	k := KeyName(c.chooser.Next(rng))
+	if c.ViaOp {
+		return TxnSpec{Incrs: []string{k}, Kind: "incr"}
+	}
+	return TxnSpec{RMWs: []string{k}, Kind: "rmw"}
 }
 
 // Retwis generates the Table 2 mix:

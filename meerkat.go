@@ -107,12 +107,16 @@ type Durability struct {
 func (d *Durability) Enabled() bool { return d.DataDir != "" }
 
 // walOptions translates the validated config into internal/wal options.
-func (d *Durability) walOptions() wal.Options {
+// sched is the cluster-wide group-commit scheduler: every replica the
+// process hosts shares one, so their per-core log fsyncs coalesce into
+// (almost) one journal commit per tick instead of replicas×cores.
+func (d *Durability) walOptions(sched *wal.Scheduler) wal.Options {
 	return wal.Options{
 		Sync:                d.Sync,
 		GroupCommitInterval: d.GroupCommitInterval,
 		SnapshotInterval:    d.SnapshotInterval,
 		MaxSegmentBytes:     d.MaxLogSegment,
+		Scheduler:           sched,
 	}
 }
 
@@ -387,8 +391,9 @@ type Cluster struct {
 	unet *transport.UDP    // non-nil iff UDP transport
 	fnet *faultnet.Network // non-nil iff cfg.Faults was set
 
-	obs    *obs.Registry // never nil after NewCluster
-	recObs *obs.Shard    // epoch-change recorder
+	obs      *obs.Registry  // never nil after NewCluster
+	recObs   *obs.Shard     // epoch-change recorder
+	walSched *wal.Scheduler // shared group-commit driver (durable clusters)
 
 	mu        sync.Mutex
 	replicas  [][]*replica.Replica // [partition][index]
@@ -460,7 +465,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	// full copy, so totals scale with the replication factor by design).
 	c.obs.RegisterGauge("vstore_keys", func() uint64 { k, _ := c.storeCounts(); return k })
 	c.obs.RegisterGauge("vstore_versions", func() uint64 { _, v := c.storeCounts(); return v })
+	c.obs.RegisterGauge("vstore_ops_merged", func() uint64 { m, _ := c.storeOpStats(); return m })
+	c.obs.RegisterGauge("vstore_ops_recovered", func() uint64 { _, r := c.storeOpStats(); return r })
 
+	if cfg.Durability.Enabled() {
+		c.walSched = wal.NewScheduler(cfg.Durability.GroupCommitInterval)
+	}
 	for p := 0; p < cfg.Partitions; p++ {
 		group := make([]*replica.Replica, cfg.Replicas)
 		stores := make([]*vstore.Store, cfg.Replicas)
@@ -471,7 +481,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			// with every committed transaction.
 			replayed := false
 			for r := 0; r < cfg.Replicas; r++ {
-				w, recov, err := wal.Open(cfg.Durability.replicaDir(p, r), cfg.Cores, cfg.Durability.walOptions())
+				w, recov, err := wal.Open(cfg.Durability.replicaDir(p, r), cfg.Cores, cfg.Durability.walOptions(c.walSched))
 				if err != nil {
 					for i := 0; i < r; i++ {
 						wals[i].Close()
@@ -608,6 +618,11 @@ func (c *Cluster) Close() {
 	if c.net != nil {
 		c.net.Close()
 	}
+	if c.walSched != nil {
+		// Replica stops flushed and closed every log; the shared group-commit
+		// driver has no registrants left and can retire.
+		c.walSched.Stop()
+	}
 }
 
 // CrashReplica stops replica r of partition p, simulating a process crash:
@@ -673,7 +688,7 @@ func (c *Cluster) RecoverReplica(p, r int) error {
 	if c.cfg.Durability.Enabled() {
 		var recov *wal.Recovered
 		var err error
-		w, recov, err = wal.Open(c.cfg.Durability.replicaDir(p, r), c.cfg.Cores, c.cfg.Durability.walOptions())
+		w, recov, err = wal.Open(c.cfg.Durability.replicaDir(p, r), c.cfg.Cores, c.cfg.Durability.walOptions(c.walSched))
 		if err != nil {
 			return err
 		}
@@ -761,6 +776,24 @@ func (c *Cluster) storeCounts() (keys, versions uint64) {
 			k, v := rep.Store().Counts()
 			keys += k
 			versions += v
+		}
+	}
+	return
+}
+
+// storeOpStats sums commutative-op merge counters across all live replica
+// stores. Scrape path only.
+func (c *Cluster) storeOpStats() (merged, recovered uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, group := range c.replicas {
+		for _, rep := range group {
+			if rep == nil {
+				continue
+			}
+			m, r := rep.Store().OpStats()
+			merged += m
+			recovered += r
 		}
 	}
 	return

@@ -20,6 +20,11 @@ type stressConfig struct {
 	// readOnlyFrac of transactions are pure reads; the rest are RMWs over
 	// 1-3 keys.
 	seed int64
+	// ops mixes server-side increments into the traffic: roughly a third
+	// of non-read-only transactions carry an Add on a random key alongside
+	// their reads and writes, so the checker's value replay covers
+	// commutative merges interleaved with plain OCC transactions.
+	ops bool
 }
 
 // runSerializabilityStress hammers the cluster with random multi-key
@@ -37,6 +42,9 @@ func runSerializabilityStress(t *testing.T, cfg stressConfig) *checker.History {
 	}
 
 	hist := checker.New()
+	for i := 0; i < cfg.keys; i++ {
+		hist.SetInitialValue(fmt.Sprintf("k%d", i), []byte("0"))
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.clients; i++ {
 		cl := newTestClient(t, c)
@@ -68,10 +76,14 @@ func runSerializabilityStress(t *testing.T, cfg stressConfig) *checker.History {
 				if !ok {
 					continue
 				}
+				if cfg.ops && !readOnly && rng.Intn(3) == 0 {
+					txn.Add(fmt.Sprintf("k%d", rng.Intn(cfg.keys)), 1)
+				}
 				if committed, err := txn.Commit(); err == nil && committed {
 					hist.Add(checker.CommittedTxn{
 						ID: txn.inner.ID(), TS: txn.inner.Timestamp(),
 						ReadSet: txn.inner.ReadSet(), WriteSet: txn.inner.WriteSet(),
+						OpSet: txn.inner.OpSet(),
 					})
 				}
 			}
@@ -134,6 +146,21 @@ func TestSerializabilityHighContention(t *testing.T) {
 		seed:     300,
 	})
 	_ = hist
+}
+
+func TestSerializabilityMixedOps(t *testing.T) {
+	// Commutative increments interleaved with plain RMWs and writes across
+	// two partitions. The checker's value replay recomputes every merge in
+	// timestamp order and verifies each read's value hash, so a merge that
+	// rewrote a version some reader had already observed would be flagged.
+	runSerializabilityStress(t, stressConfig{
+		cluster:  Config{Partitions: 2, Cores: 2, CommitTimeout: 50 * time.Millisecond},
+		clients:  6,
+		txnsEach: 40,
+		keys:     4,
+		seed:     400,
+		ops:      true,
+	})
 }
 
 func TestClientStats(t *testing.T) {
