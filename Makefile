@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-udp bench-wal bench-zipf chaos check
+.PHONY: build test race vet bench bench-json bench-udp bench-wal bench-zipf bench-ro chaos check
 
 build:
 	$(GO) build ./...
@@ -58,3 +58,10 @@ bench-wal:
 # abort rate, and latency percentiles per cell.
 bench-zipf:
 	$(GO) run ./cmd/meerkat-bench -exp wal,zipf -measure $(MEASURE) -json BENCH_pr8.json
+
+# Read-only fast path on read-heavy Retwis: the validated two-round commit
+# vs the one-round snapshot path at 80/95/100% pure-read transactions,
+# reporting goodput, abort rate, latency percentiles, and the share of
+# commits that actually rode the fast path.
+bench-ro:
+	$(GO) run ./cmd/meerkat-bench -exp ro -measure $(MEASURE) -json BENCH_pr9.json

@@ -36,17 +36,18 @@ func (c *Cluster) NewClient() (*Client, error) {
 	c.mu.Unlock()
 
 	coord, err := coordinator.New(coordinator.Config{
-		Topo:            c.topo,
-		ClientID:        id,
-		Net:             c.net,
-		Clock:           c.clientClock(id),
-		Timeout:         c.cfg.CommitTimeout,
-		Retries:         c.cfg.Retries,
-		BackoffBase:     c.cfg.BackoffBase,
-		BackoffMax:      c.cfg.BackoffMax,
-		DisableFastPath: c.cfg.DisableFastPath,
-		Seed:            c.cfg.Seed + int64(id),
-		Obs:             c.obs.NewShard(),
+		Topo:                    c.topo,
+		ClientID:                id,
+		Net:                     c.net,
+		Clock:                   c.clientClock(id),
+		Timeout:                 c.cfg.CommitTimeout,
+		Retries:                 c.cfg.Retries,
+		BackoffBase:             c.cfg.BackoffBase,
+		BackoffMax:              c.cfg.BackoffMax,
+		DisableFastPath:         c.cfg.DisableFastPath,
+		DisableReadOnlyFastPath: c.cfg.DisableReadOnlyFastPath,
+		Seed:                    c.cfg.Seed + int64(id),
+		Obs:                     c.obs.NewShard(),
 	})
 	if err != nil {
 		return nil, err
@@ -109,6 +110,15 @@ func (t *Txn) ReadManyCtx(ctx context.Context, keys []string) ([][]byte, error) 
 func (t *Txn) Write(key string, value []byte) {
 	t.inner.Write(key, value)
 }
+
+// ReadOnly declares the transaction read-only, routing its reads through the
+// snapshot fast path: every read is served at one snapshot timestamp and,
+// when each touched replica group confirms the snapshot, Commit succeeds
+// locally with zero validation rounds and zero messages. Call it before the
+// first read. The declaration is advisory: a marked transaction that goes on
+// to write (or whose snapshot cannot be confirmed) silently demotes to the
+// classic validated commit.
+func (t *Txn) ReadOnly() { t.inner.ReadOnly() }
 
 // Add buffers a server-side increment of key by delta (negative deltas
 // decrement; a missing or non-numeric value counts as 0). Unlike a
@@ -182,6 +192,11 @@ func (t *Txn) ID() timestamp.TxnID { return t.inner.ID() }
 // once Commit returned true): committed transactions are one-copy
 // serializable in timestamp order.
 func (t *Txn) Timestamp() timestamp.Timestamp { return t.inner.Timestamp() }
+
+// CommittedReadOnly reports whether Commit went through the read-only fast
+// path (zero validation rounds; see ReadOnly), in which case Timestamp is
+// the snapshot timestamp.
+func (t *Txn) CommittedReadOnly() bool { return t.inner.CommittedReadOnly() }
 
 // ReadSet, WriteSet, and OpSet expose the transaction's sets for verification
 // tooling (e.g. the serializability checker); callers must not mutate them.
@@ -257,22 +272,15 @@ func (cl *Client) Get(key string) ([]byte, error) {
 	return val, err
 }
 
-// GetStrong reads key inside a validated transaction, so the returned value
-// is serializable with respect to every committed transaction. A failure
-// unwraps to ErrConflict (the read could not validate within the attempt
-// budget), ErrTimeout, or ErrClusterClosed.
+// GetStrong returns a value of key serializable with respect to every
+// committed transaction. It rides the read-only fast path — one snapshot
+// round, no validation — and demotes to a validated read-only transaction
+// when the snapshot cannot be confirmed. A failure unwraps to ErrTimeout or
+// ErrClusterClosed.
 func (cl *Client) GetStrong(key string) ([]byte, error) {
-	var val []byte
-	ok, err := cl.RunTxn(64, func(t *Txn) error {
-		v, err := t.Read(key)
-		val = v
-		return err
-	})
+	val, _, _, err := cl.coord.SnapshotRead(key)
 	if err != nil {
 		return nil, mapErr(err)
-	}
-	if !ok {
-		return nil, fmt.Errorf("%w: strong read did not validate", ErrConflict)
 	}
 	return val, nil
 }

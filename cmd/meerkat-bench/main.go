@@ -35,7 +35,7 @@ import (
 )
 
 var (
-	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|udp|wal|zipf|calibrate|all (udp binds real loopback sockets, wal writes real files, and zipf builds a cluster per cell, so those run only when asked for explicitly)")
+	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|udp|wal|zipf|ro|calibrate|all (udp binds real loopback sockets, wal writes real files, and zipf/ro build a cluster per cell, so those run only when asked for explicitly)")
 	faults      = flag.Bool("faults", false, "run the kill-one-replica fault-injection timeline (same as -exp faults)")
 	transportF  = flag.String("transport", "", "\"udp\" runs the wire-level transport comparison (same as -exp udp): batched sendmmsg/recvmmsg + pipelined sessions vs the per-datagram baseline vs inproc")
 	window      = flag.Int("window", 16, "udp experiment: in-flight transactions per pipelined session")
@@ -117,7 +117,7 @@ func main() {
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
-	// The explicit-only experiments (udp/wal/zipf) never run under "all" but
+	// The explicit-only experiments (udp/wal/zipf/ro) never run under "all" but
 	// may be combined comma-separated, e.g. -exp wal,zipf for one merged
 	// JSON report.
 	wantOnly := func(name string) bool {
@@ -256,6 +256,13 @@ func main() {
 		run("Commutative ops under skew (measured: RMW write-back vs server-side increment)", func() error {
 			pts, err := bench.OpsZipfSweep(out, bench.OpsZipfOptions{Options: opts})
 			report.Add("zipf", pts)
+			return err
+		})
+	}
+	if wantOnly("ro") {
+		run("Read-only fast path (measured: two-round validated vs one-round snapshot)", func() error {
+			pts, err := bench.ROSweep(out, bench.ROOptions{Options: opts})
+			report.Add("ro", pts)
 			return err
 		})
 	}

@@ -51,6 +51,8 @@ type PathStats struct {
 	AcceptAborts     uint64 // slow-path ACCEPT-ABORT decisions
 	TimeoutAborts    uint64 // outcome unknown within the retry budget
 	Retries          uint64 // validate/accept round resends
+	ROCommits        uint64 // read-only fast path: snapshot reads, local commit
+	ROFallbacks      uint64 // marked-RO transactions demoted to validation
 }
 
 // FastFraction is the share of commits that took the fast path.
@@ -71,6 +73,8 @@ func pathStats(d obs.Snapshot) PathStats {
 		AcceptAborts:     d.Counter(obs.TxnAbortAcceptAbort),
 		TimeoutAborts:    d.Counter(obs.TxnAbortTimeout),
 		Retries:          d.Counter(obs.TxnRetry),
+		ROCommits:        d.Counter(obs.TxnCommitRO),
+		ROFallbacks:      d.Counter(obs.ROFallback),
 	}
 }
 
@@ -214,6 +218,14 @@ func Run(cfg RunConfig) (Result, error) {
 // gets is a per-caller scratch reused across transactions for assembling the
 // read set; it never reaches the transport (ReadMany copies what it sends).
 func execSpec(txn Txn, spec *workload.TxnSpec, value []byte, gets *[]string) error {
+	if len(spec.RMWs)+len(spec.Writes)+len(spec.Incrs) == 0 {
+		// A pure-read spec rides the read-only fast path on systems that
+		// have one. The mark is advisory and the capability an assertion —
+		// the PB baselines simply validate as usual.
+		if ro, ok := txn.(interface{ ReadOnly() }); ok {
+			ro.ReadOnly()
+		}
+	}
 	if len(spec.Reads)+len(spec.RMWs) > 0 {
 		g := spec.Reads
 		if len(spec.RMWs) > 0 {

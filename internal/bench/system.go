@@ -87,6 +87,10 @@ type SystemConfig struct {
 	// one HTTP exporter) can observe a whole sweep. Defaults to a fresh
 	// registry per system.
 	Obs *obs.Registry
+	// DisableReadOnlyFastPath forces marked read-only transactions through
+	// the classic validated commit (Meerkat systems only) — the two-round
+	// baseline of the read-only sweep's ablation.
+	DisableReadOnlyFastPath bool
 }
 
 // NewSystem builds and starts the requested system on an in-process
@@ -107,12 +111,13 @@ func NewSystem(cfg SystemConfig) (System, error) {
 	switch cfg.Kind {
 	case SystemMeerkat, SystemTAPIR:
 		cl, err := meerkat.NewCluster(meerkat.Config{
-			Replicas:      cfg.Replicas,
-			Cores:         cfg.Cores,
-			SharedTRecord: cfg.Kind == SystemTAPIR,
-			CommitTimeout: cfg.Timeout,
-			Retries:       cfg.Retries,
-			Obs:           cfg.Obs,
+			Replicas:                cfg.Replicas,
+			Cores:                   cfg.Cores,
+			SharedTRecord:           cfg.Kind == SystemTAPIR,
+			CommitTimeout:           cfg.Timeout,
+			Retries:                 cfg.Retries,
+			Obs:                     cfg.Obs,
+			DisableReadOnlyFastPath: cfg.DisableReadOnlyFastPath,
 		})
 		if err != nil {
 			return nil, err

@@ -75,6 +75,12 @@ type Config struct {
 	// reads/writes with commutative ops, and the checker's value replay
 	// verifies merge results across faults, crashes, and WAL recovery.
 	Ops bool
+	// ReadOnlyMix is the fraction of transactions run as read-only snapshot
+	// transactions (Txn.ReadOnly) over the generated spec's keys. Under
+	// faults the snapshot fast path demotes freely to the validated path;
+	// either way the committed reads join the history, and the checker
+	// verifies they saw a consistent cut.
+	ReadOnlyMix float64
 }
 
 func (c *Config) fill() {
@@ -155,9 +161,13 @@ type Result struct {
 	Restarts int
 
 	// FastCommits and SlowCommits are the cluster-wide commit-path counts;
-	// under a crash window the slow path must appear.
+	// under a crash window the slow path must appear. ROCommits counts
+	// read-only fast-path commits (zero validation rounds); ROFallbacks
+	// counts snapshot attempts that demoted to the validated path.
 	FastCommits uint64
 	SlowCommits uint64
+	ROCommits   uint64
+	ROFallbacks uint64
 
 	// Violations and DupTimestamps are the checker verdict: the history is
 	// one-copy serializable iff both are empty.
@@ -280,7 +290,8 @@ func Run(cfg Config) (*Result, error) {
 				spec := gen.Next(rng)
 				gets = spec.AppendGets(gets[:0])
 				incrs = incrs[:0]
-				if cfg.Ops {
+				ro := cfg.ReadOnlyMix > 0 && rng.Float64() < cfg.ReadOnlyMix
+				if cfg.Ops && !ro {
 					// RMW keys ship as server-side increments: drop their
 					// reads (AppendGets puts plain reads first) and carry
 					// the keys in the op set instead.
@@ -290,6 +301,16 @@ func Run(cfg Config) (*Result, error) {
 				var last *meerkat.Txn
 				err := cl.Run(ctx, func(t *meerkat.Txn) error {
 					last = t
+					if ro {
+						// A read-only snapshot transaction over the spec's
+						// whole key set (RMW keys read, not written).
+						t.ReadOnly()
+						if len(gets) == 0 {
+							return nil
+						}
+						_, err := t.ReadManyCtx(ctx, gets)
+						return err
+					}
 					if len(gets) > 0 {
 						if _, err := t.ReadManyCtx(ctx, gets); err != nil {
 							return err
@@ -320,7 +341,8 @@ func Run(cfg Config) (*Result, error) {
 				hist.Add(checker.CommittedTxn{
 					ID: last.ID(), TS: last.Timestamp(),
 					ReadSet: last.ReadSet(), WriteSet: last.WriteSet(),
-					OpSet: last.OpSet(),
+					OpSet:    last.OpSet(),
+					ReadOnly: last.CommittedReadOnly(),
 				})
 				if allFired() && tail.Add(1) >= int64(cfg.TailTxns) {
 					stop.Store(true)
@@ -344,6 +366,8 @@ func Run(cfg Config) (*Result, error) {
 	res.RunErrors = int(runErrors.Load())
 	res.FastCommits = snap.Counters[obs.TxnCommitFast]
 	res.SlowCommits = snap.Counters[obs.TxnCommitSlow]
+	res.ROCommits = snap.Counters[obs.TxnCommitRO]
+	res.ROFallbacks = snap.Counters[obs.ROFallback]
 	res.Faults = fnet.Stats().Summary()
 	res.Violations = hist.Check(initial)
 	res.DupTimestamps = len(hist.CheckUniqueTimestamps())

@@ -129,6 +129,35 @@ func TestDefaultPlanStable(t *testing.T) {
 	}
 }
 
+// TestChaosReadOnlyMix folds snapshot read-only transactions into the fault
+// schedule: 30% of the traffic is marked RO and rides the one-round fast
+// path when the watermark confirms, racing ambient loss, a partition
+// window, and a replica crash+restart. Dropped replies and the downed
+// replica shrink the confirmation quorum, so this exercises the retry,
+// round-down, and demotion paths too; whatever path each transaction took,
+// the checker must accept the merged history, and at least one transaction
+// must actually have committed read-only for the run to count.
+func TestChaosReadOnlyMix(t *testing.T) {
+	res, err := Run(Config{Seed: 11, Ops: true, ReadOnlyMix: 0.3, Timeout: 90 * time.Second})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if !res.Ok() {
+		dumpArtifact(t, res)
+		t.Fatalf("checker rejected history with RO mix: unresolved=%d violations=%v dup_ts=%d",
+			res.Unresolved, res.Violations, res.DupTimestamps)
+	}
+	if res.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if res.ROCommits == 0 {
+		dumpArtifact(t, res)
+		t.Fatalf("no read-only fast-path commits under the mix (fallbacks=%d)", res.ROFallbacks)
+	}
+	t.Logf("committed=%d ro=%d ro_fallbacks=%d fast=%d slow=%d faults=%+v",
+		res.Committed, res.ROCommits, res.ROFallbacks, res.FastCommits, res.SlowCommits, res.Faults)
+}
+
 // TestChaosDiskRecovery is TestChaosSmoke with durability enabled: the
 // injected crash abandons the victim's unflushed WAL buffers, and its
 // restart replays snapshot + logs from disk before the delta state

@@ -25,6 +25,15 @@ type CommittedTxn struct {
 	ReadSet  []message.ReadSetEntry
 	WriteSet []message.WriteSetEntry
 	OpSet    []message.OpSetEntry
+
+	// ReadOnly marks a transaction committed on the read-only fast path: TS
+	// is its snapshot timestamp. A snapshot observes every write at or below
+	// it (inclusive), so at an equal timestamp the replay orders writers
+	// first; and because a rounded-down snapshot timestamp is derived from
+	// other transactions' timestamps rather than drawn fresh from the
+	// client's generator, read-only timestamps are exempt from the
+	// uniqueness check.
+	ReadOnly bool
 }
 
 // History accumulates committed transactions from any number of client
@@ -103,7 +112,17 @@ func (h *History) Check(initial map[string]timestamp.Timestamp) []Violation {
 	initVals := h.initVals
 	h.mu.Unlock()
 
-	sort.Slice(txns, func(i, j int) bool { return txns[i].TS.Less(txns[j].TS) })
+	sort.Slice(txns, func(i, j int) bool {
+		if txns[i].TS != txns[j].TS {
+			return txns[i].TS.Less(txns[j].TS)
+		}
+		// A snapshot read at TS s observes a write committed exactly at s,
+		// so at equal timestamps writers replay before read-only readers.
+		if txns[i].ReadOnly != txns[j].ReadOnly {
+			return !txns[i].ReadOnly
+		}
+		return txns[i].ID.Less(txns[j].ID)
+	})
 
 	state := make(map[string]timestamp.Timestamp, len(initial))
 	for k, ts := range initial {
@@ -184,13 +203,19 @@ func (h *History) Check(initial map[string]timestamp.Timestamp) []Violation {
 
 // CheckUniqueTimestamps verifies that no two committed transactions share a
 // serialization timestamp — a prerequisite for the timestamp order to be a
-// total order.
+// total order. Read-only transactions are exempt: they install nothing, so
+// their position among same-timestamp peers is immaterial, and a rounded-down
+// snapshot timestamp is legitimately derived from other transactions'
+// timestamps rather than drawn fresh.
 func (h *History) CheckUniqueTimestamps() []timestamp.Timestamp {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	seen := make(map[timestamp.Timestamp]bool, len(h.txns))
 	var dups []timestamp.Timestamp
 	for _, t := range h.txns {
+		if t.ReadOnly {
+			continue
+		}
 		if seen[t.TS] {
 			dups = append(dups, t.TS)
 		}

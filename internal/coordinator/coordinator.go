@@ -54,6 +54,10 @@ type Config struct {
 	// DisableFastPath forces every transaction through the slow path, an
 	// ablation knob quantifying the fast path's round-trip saving.
 	DisableFastPath bool
+	// DisableReadOnlyFastPath forces read-only transactions through the
+	// classic validated two-round commit, the ablation knob behind the
+	// one-round-vs-two-round read experiment.
+	DisableReadOnlyFastPath bool
 	// Seed seeds core/replica load-balancing choices. Zero means seed
 	// from ClientID.
 	Seed int64
@@ -222,6 +226,14 @@ type Coordinator struct {
 	partOff    []int                // ReadMany group offsets, len Partitions+1
 	origIdx    []int                // ReadMany: original index of each grouped key
 	readRes    []message.ReadResult // ReadMany result scratch, returned to the caller
+	roKeys     []roKeyState         // snapshot-read settlement scratch, aligned with grouped keys
+	roOuts     []transport.Outgoing // snapshot-read broadcast headers
+	ro1        [1]string            // single-key scratch for SnapshotRead
+
+	// lastTS is the highest timestamp this coordinator has committed at, on
+	// either path. Snapshot round-down never goes below it, so one session's
+	// reads can never miss that session's own writes.
+	lastTS timestamp.Timestamp
 
 	// groups[p*Cores+core] is the broadcast destination set for (p, core),
 	// precomputed once so the per-commit phases never allocate it. Immutable
@@ -545,6 +557,18 @@ type Txn struct {
 	// unresolved is non-empty only after Commit returned ErrTimeout.
 	coreID     uint32
 	unresolved []int
+
+	// ro marks the transaction read-only (ReadOnly was called). roViable is
+	// true while the snapshot fast path is still serving it, and clears on
+	// demotion — a buffered write or op, or a snapshot that would not
+	// confirm. snapTS is the snapshot timestamp, fixed by the first snapshot
+	// read so the whole transaction observes one consistent cut.
+	ro       bool
+	roViable bool
+	snapTS   timestamp.Timestamp
+	// roCommitted records that Commit took the read-only fast path, in which
+	// case committedAt is the snapshot timestamp.
+	roCommitted bool
 }
 
 // Begin starts a new transaction.
@@ -603,6 +627,23 @@ func (t *Txn) ReadCtx(ctx context.Context, key string) ([]byte, error) {
 	if i := t.findRead(key); i >= 0 {
 		return t.applyPendingOp(key, t.readVals[i]), nil
 	}
+	if t.roViable {
+		t.c.ro1[0] = key
+		res, served, err := t.snapshotFetch(ctx, t.c.ro1[:])
+		if err != nil {
+			return nil, err
+		}
+		if served {
+			// The snapshot read still joins the read set: if the transaction
+			// later demotes (a write, or an unconfirmable second fetch), it
+			// commits classically and these reads validate like any others.
+			v := res[0]
+			t.reads = append(t.reads, message.ReadSetEntry{Key: key, WTS: v.WTS, VHash: message.HashValue(v.Value)})
+			t.readVals = append(t.readVals, v.Value)
+			return t.applyPendingOp(key, v.Value), nil
+		}
+		// Demoted: fall through to the classic read.
+	}
 	val, ver, _, err := t.c.ReadCtx(ctx, key)
 	if err != nil {
 		return nil, err
@@ -656,9 +697,22 @@ func (t *Txn) ReadManyCtx(ctx context.Context, keys []string) ([][]byte, error) 
 		}
 	}
 	if len(fetch) > 0 {
-		res, err := t.c.ReadManyCtx(ctx, fetch)
-		if err != nil {
-			return nil, err
+		var res []message.ReadResult
+		if t.roViable {
+			r, served, err := t.snapshotFetch(ctx, fetch)
+			if err != nil {
+				return nil, err
+			}
+			if served {
+				res = r
+			}
+		}
+		if res == nil {
+			r, err := t.c.ReadManyCtx(ctx, fetch)
+			if err != nil {
+				return nil, err
+			}
+			res = r
 		}
 		// Grow the read set once for the whole batch rather than along the
 		// append doubling chain — under GOMAXPROCS=1 the GC competes with the
@@ -690,6 +744,7 @@ func (t *Txn) ReadManyCtx(ctx context.Context, keys []string) ([][]byte, error) 
 // replaces any commutative op previously buffered for the key — the blind
 // write's value does not depend on the op's outcome.
 func (t *Txn) Write(key string, value []byte) {
+	t.roViable = false // no longer read-only; commit classically
 	if i := t.findOp(key); i >= 0 {
 		t.ops = append(t.ops[:i], t.ops[i+1:]...)
 	}
@@ -712,6 +767,7 @@ var errMixedOps = errors.New("coordinator: mixed op kinds on one key in a single
 // indistinguishable from a replay). Mixing kinds on one key is not foldable
 // without the key's value; it latches an error that Commit returns.
 func (t *Txn) addOp(key string, kind message.OpKind, delta int64, arg []byte) {
+	t.roViable = false // no longer read-only; commit classically
 	if i := t.findWrite(key); i >= 0 {
 		t.writes[i].Value = message.ApplyOp(nil, t.writes[i].Value, kind, delta, arg)
 		return
@@ -878,6 +934,11 @@ func (t *Txn) Timestamp() timestamp.Timestamp { return t.committedAt }
 // ID returns the transaction id assigned at commit time.
 func (t *Txn) ID() timestamp.TxnID { return t.id }
 
+// CommittedReadOnly reports whether Commit went through the read-only fast
+// path — zero validation rounds — in which case Timestamp is the snapshot
+// timestamp rather than a fresh generator draw.
+func (t *Txn) CommittedReadOnly() bool { return t.roCommitted }
+
 // ReadSet, WriteSet, and OpSet expose the transaction's sets for verification
 // tooling (the serializability checker); callers must not mutate them.
 func (t *Txn) ReadSet() []message.ReadSetEntry   { return t.reads }
@@ -903,6 +964,9 @@ type partResult struct {
 // commits; the per-partition read/write sets are freshly allocated each
 // time, because validated replicas alias them into their trecords.
 func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
+	if len(t.reads)+len(t.writes)+len(t.ops) == 0 {
+		return nil // empty transaction: nothing to validate anywhere
+	}
 	nparts := c.cfg.Topo.Partitions
 	if nparts == 1 {
 		c.partsBuf = append(c.partsBuf[:0], partTxn{p: 0, txn: message.Txn{ID: tid, ReadSet: t.reads, WriteSet: t.writes, OpSet: t.ops}})
@@ -966,6 +1030,23 @@ func (c *Coordinator) commit(ctx context.Context, t *Txn) (bool, error) {
 		return false, t.opErr
 	}
 	start := time.Now()
+	// Read-only fast path: a transaction whose every read was served and
+	// confirmed at one snapshot timestamp, and that buffered no writes or
+	// ops, is already serialized at that snapshot — each touched replica
+	// vouched, under the per-key read-timestamp guard, that nothing can
+	// commit at or below it on the keys read. Commit is local: zero
+	// validation rounds, zero messages.
+	if t.roViable && len(t.writes) == 0 && len(t.ops) == 0 && !t.snapTS.IsZero() {
+		t.committedAt = t.snapTS
+		t.id = c.gen.NextID()
+		t.roCommitted = true
+		if c.lastTS.Less(t.snapTS) {
+			c.lastTS = t.snapTS
+		}
+		c.obs.Inc(obs.TxnCommitRO)
+		c.obs.Observe(obs.HistCommit, time.Since(start))
+		return true, nil
+	}
 	// Step 1: pick the processing core, the proposed timestamp, and the
 	// transaction id. The timestamp comes from the client's loosely
 	// synchronized clock — no coordination.
@@ -1051,6 +1132,9 @@ func (c *Coordinator) commit(ctx context.Context, t *Txn) (bool, error) {
 		c.pt.outs = broadcast(c.commitEps[parts[i].p], c.group(parts[i].p, coreID), &outcome, c.pt.outs)
 	}
 
+	if committed && c.lastTS.Less(ts) {
+		c.lastTS = ts // snapshot round-down floor (see snapshotBegin)
+	}
 	switch {
 	case committed && !anySlow:
 		c.obs.Inc(obs.TxnCommitFast)

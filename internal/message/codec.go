@@ -292,7 +292,9 @@ func Encode(buf []byte, m *Message) []byte {
 		e.bytes(r.Value)
 		e.ts(r.WTS)
 		e.bool(r.OK)
+		e.u8(uint8(r.Op))
 	}
+	e.ts(m.Watermark)
 	return e.buf
 }
 
@@ -392,7 +394,9 @@ func DecodeInto(m *Message, buf []byte) error {
 		r.Value = d.bytes(r.Value)
 		r.WTS = d.ts()
 		r.OK = d.bool()
+		r.Op = OpKind(d.u8())
 	}
+	m.Watermark = d.ts()
 	if d.err != nil {
 		return d.err
 	}

@@ -82,7 +82,13 @@ func randomMessage(rng *rand.Rand) *Message {
 		m.Keys = append(m.Keys, rstr())
 	}
 	for i := rng.Intn(4); i > 0; i-- {
-		m.Reads = append(m.Reads, ReadResult{Value: rbytes(), WTS: rts(), OK: rng.Intn(2) == 0})
+		m.Reads = append(m.Reads, ReadResult{
+			Value: rbytes(), WTS: rts(), OK: rng.Intn(2) == 0,
+			Op: OpKind(rng.Intn(int(OpMin) + 1)),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		m.Watermark = rts()
 	}
 	return m
 }
@@ -178,6 +184,16 @@ func FuzzDecode(f *testing.F) {
 		{Value: []byte("v"), WTS: timestamp.Timestamp{Time: 2, ClientID: 1}, OK: true},
 		{OK: false},
 	}}))
+	// Snapshot read at TS=s and its confirmed reply (Watermark == TS,
+	// op-derived version flagged in Op).
+	f.Add(Encode(nil, &Message{Type: TypeMultiRead, Seq: 4, Keys: []string{"a", "b"},
+		TS: timestamp.Timestamp{Time: 9, ClientID: 7}}))
+	f.Add(Encode(nil, &Message{Type: TypeMultiReadReply, Seq: 4, ReplicaID: 2,
+		Watermark: timestamp.Timestamp{Time: 9, ClientID: 7},
+		Reads: []ReadResult{
+			{Value: []byte("3"), WTS: timestamp.Timestamp{Time: 5, ClientID: 1}, OK: true, Op: OpIncrement},
+			{OK: false},
+		}}))
 	f.Add(Encode(nil, &Message{Type: TypeValidate, Txn: Txn{
 		ID: timestamp.TxnID{Seq: 5, ClientID: 2},
 		OpSet: []OpSetEntry{

@@ -210,10 +210,16 @@ type TRecordEntry struct {
 // ReadResult is one key's answer in a multi-read reply: the latest committed
 // value and version, or OK=false (with zero WTS) for a key that has never
 // been written — still a meaningful read that validation will check.
+//
+// Op carries the kind of the version that produced the value (OpNone for a
+// plain write). Snapshot reads need it: op-derived versions re-materialize in
+// place when older ops merge below them, so the read-only fast path applies a
+// stricter settlement rule to them than to plain writes.
 type ReadResult struct {
 	Value []byte
 	WTS   timestamp.Timestamp
 	OK    bool
+	Op    OpKind
 }
 
 // KeyState is one key's committed state as shipped during replica state
@@ -283,8 +289,20 @@ type Message struct {
 	// carries Reads, index-aligned with the request's Keys. (Encoded after
 	// the fields above so the offsets of the original wire format are
 	// unchanged.)
+	//
+	// A multi-read request with a non-zero TS is a snapshot read: the replica
+	// answers every key at that timestamp (newest version at or below TS) and
+	// raises each key's read timestamp to TS so no later validation can slip
+	// a write underneath the snapshot.
 	Keys  []string
 	Reads []ReadResult
+
+	// Watermark is attached to multi-read replies: the minimum, over the
+	// requested keys, of the timestamp up to which this replica can vouch
+	// that no prepared-but-undecided transaction will still commit. For a
+	// snapshot read at TS=s, Watermark == s means the reply is *confirmed* —
+	// every answered version is final with respect to this replica.
+	Watermark timestamp.Timestamp
 }
 
 // String gives a short human-readable rendering for logs and test failures.

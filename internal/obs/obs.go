@@ -67,6 +67,18 @@ const (
 	// procedure itself (Txn.Resolve).
 	TxnResolveCommit
 	TxnResolveAbort
+	// TxnCommitRO counts read-only transactions committed on the
+	// validation-free fast path: every touched partition confirmed the
+	// snapshot timestamp, so no validate round was issued at all.
+	TxnCommitRO
+	// ROReadRetry counts snapshot-read rounds re-issued at the same
+	// snapshot timestamp because a partition was unconfirmed; RORoundDown
+	// counts second attempts at a lower (rounded-down) snapshot;
+	// ROFallback counts read-only transactions that gave up on the fast
+	// path and demoted to the classic validated commit.
+	ROReadRetry
+	RORoundDown
+	ROFallback
 
 	// Replica-side per-core counters (one per message handled).
 	ValidateOK       // validations that passed the OCC checks
@@ -81,6 +93,7 @@ const (
 	MultiReadServed  // multi-read requests answered (keys served in batches)
 	OpCommitApplied  // committed transactions carrying commutative ops
 	OpMerged         // commutative ops folded into version chains on commit
+	SnapshotRead     // snapshot multi-read requests answered (RO fast path)
 
 	// Recovery-coordinator counters (internal/recovery).
 	EpochChangeRun   // epoch changes driven to completion
@@ -105,6 +118,10 @@ var counterNames = [NumCounters]string{
 	ReadMultiRetry:      "read_multi_retry",
 	TxnResolveCommit:    "txn_resolve_commit",
 	TxnResolveAbort:     "txn_resolve_abort",
+	TxnCommitRO:         "txn_commit_ro",
+	ROReadRetry:         "ro_read_retry",
+	RORoundDown:         "ro_round_down",
+	ROFallback:          "ro_fallback",
 	ValidateOK:          "replica_validate_ok",
 	ValidateAbort:       "replica_validate_abort",
 	AcceptAcked:         "replica_accept_acked",
@@ -117,6 +134,7 @@ var counterNames = [NumCounters]string{
 	MultiReadServed:     "replica_multi_read_served",
 	OpCommitApplied:     "replica_op_commit_applied",
 	OpMerged:            "replica_op_merged",
+	SnapshotRead:        "replica_snapshot_read_served",
 	EpochChangeRun:      "recovery_epoch_change_run",
 	EpochMergedTxn:      "recovery_epoch_merged_txn",
 	EpochRevalidated:    "recovery_epoch_revalidated",

@@ -96,6 +96,21 @@ func ApplyCommit(s *vstore.Store, txn *message.Txn, ts timestamp.Timestamp) {
 	}
 }
 
+// RegisterPending registers txn's write and op intents as pending writers
+// without running the OCC checks. The slow-path accept phase uses it for
+// transactions this replica never validated: an accepted-but-undecided write
+// left unregistered would let the replica confirm a read-only snapshot the
+// transaction can later commit below. ApplyCommit and ApplyAbort clear the
+// registrations exactly as they would a validated transaction's.
+func RegisterPending(s *vstore.Store, txn *message.Txn, ts timestamp.Timestamp) {
+	for i := range txn.WriteSet {
+		s.AddWriter(txn.WriteSet[i].Key, ts)
+	}
+	for i := range txn.OpSet {
+		s.AddWriter(txn.OpSet[i].Key, ts)
+	}
+}
+
 // ApplyAbort backs out the pending registrations left by a successful
 // Validate for a transaction that ultimately aborted. Call it only when this
 // replica's validation returned StatusValidatedOK (a failed Validate cleans

@@ -1,0 +1,90 @@
+package occ
+
+import (
+	"sync"
+
+	"meerkat/internal/timestamp"
+)
+
+// WatermarkTracker maintains one replica core's commit watermark: the highest
+// timestamp below which no transaction this core has prepared — validated OK
+// or accepted a commit proposal for — can still be undecided. A core adds a
+// transaction when it becomes prepared-but-undecided and removes it when the
+// outcome is finalized; the watermark sits just below the earliest pending
+// timestamp.
+//
+// The watermark is advisory: it summarizes only this core's trecord
+// partition, so the read-only fast path never trusts it for safety (the
+// per-key confirmation bound computed inside vstore.SnapshotRead is what
+// carries the safety argument — it sees pending writers from every core).
+// The tracker exists for the advertised watermark on plain multi-read
+// replies, for round-down hints, and as a diagnostic that the prepared set
+// drains.
+//
+// All methods are safe for concurrent use. The published watermark returned
+// by Watermark is monotone: it never regresses, even as lower-timestamped
+// transactions enter the pending set afterwards (another reason it cannot be
+// a safety carrier).
+type WatermarkTracker struct {
+	mu      sync.Mutex
+	pending map[timestamp.TxnID]timestamp.Timestamp
+	pub     timestamp.Timestamp
+}
+
+// NewWatermarkTracker returns an empty tracker.
+func NewWatermarkTracker() *WatermarkTracker {
+	return &WatermarkTracker{pending: make(map[timestamp.TxnID]timestamp.Timestamp)}
+}
+
+// Add records that txn tid is prepared at ts and undecided. Re-adding the
+// same tid (a duplicate validate, or accept after validate) keeps the latest
+// timestamp.
+func (w *WatermarkTracker) Add(tid timestamp.TxnID, ts timestamp.Timestamp) {
+	w.mu.Lock()
+	w.pending[tid] = ts
+	w.mu.Unlock()
+}
+
+// Finalize records that tid's outcome is decided. Unknown tids are ignored
+// (a commit can arrive for a transaction this core never validated).
+func (w *WatermarkTracker) Finalize(tid timestamp.TxnID) {
+	w.mu.Lock()
+	delete(w.pending, tid)
+	w.mu.Unlock()
+}
+
+// Pending returns the number of prepared-but-undecided transactions.
+func (w *WatermarkTracker) Pending() int {
+	w.mu.Lock()
+	n := len(w.pending)
+	w.mu.Unlock()
+	return n
+}
+
+// Advance computes the instantaneous bound min(cap, just-below-earliest-
+// pending), folds it into the published watermark (which only moves
+// forward), and returns the instantaneous bound. cap is the highest
+// timestamp the caller can vouch for from its own context — e.g. the
+// snapshot timestamp it just served.
+func (w *WatermarkTracker) Advance(cap timestamp.Timestamp) timestamp.Timestamp {
+	w.mu.Lock()
+	b := cap
+	for _, ts := range w.pending {
+		if p := ts.Prev(); p.Less(b) {
+			b = p
+		}
+	}
+	if w.pub.Less(b) {
+		w.pub = b
+	}
+	w.mu.Unlock()
+	return b
+}
+
+// Watermark returns the published (monotone) watermark.
+func (w *WatermarkTracker) Watermark() timestamp.Timestamp {
+	w.mu.Lock()
+	p := w.pub
+	w.mu.Unlock()
+	return p
+}

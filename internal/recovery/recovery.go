@@ -92,6 +92,15 @@ func RunEpochChange(net transport.Network, t topo.Topology, p int, epoch uint64,
 
 	// Phase 1: pause and collect per-core trecord snapshots. A replica
 	// counts once all of its cores have acknowledged.
+	//
+	// The merge wants the records of every replica it can possibly reach, not
+	// just a bare majority: a transaction's only commit evidence can live
+	// wholly on one replica (its finalize message was dropped elsewhere, and
+	// the peer that did apply it crashed and recovered with an empty record),
+	// and a merge built without that replica silently aborts a transaction
+	// whose coordinator already reported commit. So keep resending to
+	// stragglers until every replica has answered, and settle for a majority
+	// only once the retry budget is spent.
 	acks := make(map[coreKey][]message.TRecordEntry)
 	replicaDone := func() int {
 		counts := make(map[uint32]int)
@@ -107,12 +116,20 @@ func RunEpochChange(net transport.Network, t topo.Topology, p int, epoch uint64,
 		return n
 	}
 
-	gotQuorum := false
-	for attempt := 0; attempt <= opts.Retries && !gotQuorum; attempt++ {
+	for attempt := 0; attempt <= opts.Retries && replicaDone() < t.Replicas; attempt++ {
 		for _, dst := range targets {
+			if _, ok := acks[coreKey{dst.Node - t.ReplicaNode(p, 0), dst.Core}]; ok {
+				continue
+			}
 			ep.Send(dst, &message.Message{Type: message.TypeEpochChange, Epoch: epoch})
 		}
-		deadline := time.NewTimer(opts.Timeout)
+		// Once a majority is in, later rounds only chase stragglers whose
+		// messages were lost; don't stall recovery a full timeout for each.
+		wait := opts.Timeout
+		if replicaDone() >= t.Majority() {
+			wait = opts.Timeout / 5
+		}
+		deadline := time.NewTimer(wait)
 	collect:
 		for {
 			select {
@@ -121,27 +138,8 @@ func RunEpochChange(net transport.Network, t topo.Topology, p int, epoch uint64,
 					continue
 				}
 				acks[coreKey{m.ReplicaID, m.CoreID}] = m.Records
-				if replicaDone() >= t.Majority() {
-					// Give the remaining replicas a brief chance to make
-					// the merge as complete as possible, then proceed.
-					grace := time.NewTimer(opts.Timeout / 10)
-				graceLoop:
-					for {
-						select {
-						case m := <-in.C:
-							if m.Type == message.TypeEpochChangeAck && m.Epoch == epoch {
-								acks[coreKey{m.ReplicaID, m.CoreID}] = m.Records
-								if replicaDone() == t.Replicas {
-									grace.Stop()
-									break graceLoop
-								}
-							}
-						case <-grace.C:
-							break graceLoop
-						}
-					}
+				if replicaDone() == t.Replicas {
 					deadline.Stop()
-					gotQuorum = true
 					break collect
 				}
 			case <-deadline.C:
@@ -149,7 +147,7 @@ func RunEpochChange(net transport.Network, t topo.Topology, p int, epoch uint64,
 			}
 		}
 	}
-	if !gotQuorum {
+	if replicaDone() < t.Majority() {
 		return nil, ErrNoQuorum
 	}
 

@@ -85,6 +85,16 @@ type Config struct {
 	// draws its own shard from the registry, so recording follows the same
 	// per-core ownership discipline as the trecord itself.
 	Obs *obs.Registry
+
+	// Recovering marks a replica rejoining after a crash: its store was
+	// rebuilt from a donor copy (plus any local WAL replay), but it is blind
+	// to transactions that were in flight around the transfer — it holds
+	// none of their pending registrations, so its snapshot-read bound would
+	// wrongly confirm snapshots those transactions can still commit under.
+	// Until the first epoch change completes (which decides and applies
+	// every in-flight transaction), the replica serves snapshot reads with
+	// an unconfirmed watermark.
+	Recovering bool
 }
 
 // Replica is one Meerkat database instance.
@@ -97,6 +107,15 @@ type Replica struct {
 
 	recoverer *coordinator.Recoverer
 	recMu     sync.Mutex // serializes recovery runs initiated here
+
+	// recovering is set at construction for crash-recovered replicas and
+	// cleared once every core has installed an epoch-change merge; while
+	// set, snapshot reads report an unconfirmed watermark (see
+	// Config.Recovering). recoveryLeft counts the cores still to install
+	// (the store is replica-wide, so one caught-up core does not make the
+	// whole store trustworthy).
+	recovering   atomic.Bool
+	recoveryLeft atomic.Int32
 
 	started bool
 	stopped atomic.Bool
@@ -112,8 +131,12 @@ type core struct {
 	ep     atomic.Pointer[transport.Endpoint]
 	part   *trecord.Partition // used only when !SharedRecord
 	paused bool
-	obs    *obs.Shard // per-core lifecycle recorder (nil-safe)
-	log    *wal.Log   // this core's write-ahead log (nil without durability)
+	// recovered marks that this core has installed an epoch-change merge
+	// since a crash recovery (see Replica.recoveryLeft).
+	recovered bool
+	obs       *obs.Shard            // per-core lifecycle recorder (nil-safe)
+	log       *wal.Log              // this core's write-ahead log (nil without durability)
+	wm        *occ.WatermarkTracker // this core's commit watermark (advisory)
 
 	sweepStop chan struct{}
 }
@@ -146,11 +169,15 @@ func New(cfg Config) (*Replica, error) {
 		st = vstore.New(vstore.Config{})
 	}
 	r := &Replica{cfg: cfg, store: st}
+	r.recovering.Store(cfg.Recovering)
+	if cfg.Recovering {
+		r.recoveryLeft.Store(int32(cfg.Topo.Cores))
+	}
 	if cfg.SharedRecord {
 		r.shared = trecord.NewShared()
 	}
 	for c := 0; c < cfg.Topo.Cores; c++ {
-		cc := &core{r: r, id: uint32(c), obs: cfg.Obs.NewShard()}
+		cc := &core{r: r, id: uint32(c), obs: cfg.Obs.NewShard(), wm: occ.NewWatermarkTracker()}
 		if !cfg.SharedRecord {
 			cc.part = trecord.NewPartition()
 		}
@@ -392,16 +419,61 @@ func (c *core) handleRead(m *message.Message) {
 // store — never the trecord — so any core of any replica can serve it, and
 // batching adds no coordination.
 func (c *core) handleMultiRead(m *message.Message) {
+	if !m.TS.IsZero() {
+		c.handleSnapshotRead(m)
+		return
+	}
 	reads := make([]message.ReadResult, len(m.Keys))
 	for i, k := range m.Keys {
 		v, ok := c.r.store.Read(k)
-		reads[i] = message.ReadResult{Value: v.Value, WTS: v.WTS, OK: ok}
+		reads[i] = message.ReadResult{Value: v.Value, WTS: v.WTS, OK: ok, Op: v.Op}
 	}
 	c.obs.Inc(obs.MultiReadServed)
 	c.send(m.Src, &message.Message{
 		Type:      message.TypeMultiReadReply,
 		Seq:       m.Seq,
 		Reads:     reads,
+		Watermark: c.wm.Watermark(),
+		ReplicaID: uint32(c.r.cfg.Index),
+	})
+}
+
+// handleSnapshotRead serves a multi-read pinned at snapshot timestamp m.TS
+// for the read-only fast path. Every key is answered at that timestamp
+// (newest version at or below it), and — inside the same per-key critical
+// section — the store raises the key's read timestamp to it, so no
+// yet-unvalidated write can ever commit under the snapshot. The reply's
+// Watermark is the minimum per-key confirmation bound: it equals m.TS
+// exactly when no pending (prepared-but-undecided) writer sits at or below
+// the snapshot on any requested key, i.e. when every answered version is
+// final with respect to this replica.
+func (c *core) handleSnapshotRead(m *message.Message) {
+	reads := make([]message.ReadResult, len(m.Keys))
+	wmin := m.TS
+	for i, k := range m.Keys {
+		v, bound, ok := c.r.store.SnapshotRead(k, m.TS)
+		reads[i] = message.ReadResult{Value: v.Value, WTS: v.WTS, OK: ok, Op: v.Op}
+		if bound.Less(wmin) {
+			wmin = bound
+		}
+	}
+	c.wm.Advance(wmin)
+	if c.paused || c.r.recovering.Load() {
+		// A crash-recovered replica is blind to transactions in flight
+		// around its state transfer (their pending registrations died with
+		// the old process), so its per-key bound cannot be trusted until the
+		// first epoch change decides and applies all of them. Likewise a
+		// core paused mid-epoch-change hasn't installed the merge yet and
+		// may be missing outcomes it is about to learn. Serve the values in
+		// both cases, but never confirm.
+		wmin = timestamp.Zero
+	}
+	c.obs.Inc(obs.SnapshotRead)
+	c.send(m.Src, &message.Message{
+		Type:      message.TypeMultiReadReply,
+		Seq:       m.Seq,
+		Reads:     reads,
+		Watermark: wmin,
 		ReplicaID: uint32(c.r.cfg.Index),
 	})
 }
@@ -426,6 +498,7 @@ func (c *core) handleValidate(m *message.Message) {
 		rec.Status = st
 		rec.Registered = st == message.StatusValidatedOK
 		if st == message.StatusValidatedOK {
+			c.wm.Add(m.Txn.ID, m.TS)
 			c.obs.Inc(obs.ValidateOK)
 		} else {
 			c.obs.Inc(obs.ValidateAbort)
@@ -463,6 +536,9 @@ func (c *core) handleAccept(m *message.Message) {
 		rec.Txn = m.Txn
 		rec.TS = m.TS
 	}
+	if rec.Txn.ID.IsZero() {
+		rec.Txn.ID = m.TID
+	}
 	switch {
 	case rec.Status.Final():
 		// Already decided; ack so the (backup) coordinator finishes.
@@ -483,6 +559,21 @@ func (c *core) handleAccept(m *message.Message) {
 		rec.View = m.View
 		rec.AcceptView = m.View
 		rec.Status = m.Status // ACCEPT-COMMIT or ACCEPT-ABORT
+		if m.Status == message.StatusAcceptCommit {
+			// A replica that never validated this transaction (dropped
+			// validate, or its own validation aborted and backed out) has
+			// nothing registered in the store, so snapshot reads here would
+			// not see the accepted write as pending and could confirm a
+			// snapshot the transaction commits below. Register the intents
+			// now; finalize clears them through the usual commit/abort paths.
+			if !rec.Registered && !rec.Txn.Empty() {
+				occ.RegisterPending(c.r.store, &rec.Txn, rec.TS)
+				rec.Registered = true
+			}
+			c.wm.Add(m.TID, rec.TS)
+		} else {
+			c.wm.Finalize(m.TID)
+		}
 		c.obs.Inc(obs.AcceptAcked)
 		reply = &message.Message{
 			Type: message.TypeAcceptReply, TID: m.TID, OK: true,
@@ -534,6 +625,7 @@ func (c *core) finalize(rec *trecord.Record, st message.Status) bool {
 	wasRegistered := rec.Registered
 	rec.Registered = false
 	rec.Status = st
+	c.wm.Finalize(rec.Txn.ID)
 	switch {
 	case st == message.StatusCommitted && c.log != nil:
 		c.log.AppendCommit(&rec.Txn, rec.TS)
@@ -642,6 +734,16 @@ func (c *core) handleEpochChangeComplete(m *message.Message) {
 			p.Compact()
 		}
 	})
+	// The merged trecord decided and applied every in-flight transaction
+	// this core is responsible for; once every core has installed its
+	// slice, a crash-recovered replica is caught up and its snapshot-read
+	// bounds are trustworthy again.
+	if c.r.recovering.Load() && !c.recovered {
+		c.recovered = true
+		if c.r.recoveryLeft.Add(-1) == 0 {
+			c.r.recovering.Store(false)
+		}
+	}
 	c.paused = false
 	c.send(m.Src, &message.Message{
 		Type: message.TypeEpochChangeCompleteAck, Epoch: m.Epoch,

@@ -81,7 +81,7 @@ func ts(t int64, c uint64) timestamp.Timestamp { return timestamp.Timestamp{Time
 
 func rmwTxn(seq, client uint64, key, val string, readWTS timestamp.Timestamp) message.Txn {
 	return message.Txn{
-		ID:       timestamp.TxnID{Seq: seq, ClientID: client},
+		ID: timestamp.TxnID{Seq: seq, ClientID: client},
 		// The reads here observe a missing key (version Zero, no value), so the
 		// hash matches the store's empty-chain hash.
 		ReadSet:  []message.ReadSetEntry{{Key: key, WTS: readWTS, VHash: message.HashValue(nil)}},

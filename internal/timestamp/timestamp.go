@@ -54,6 +54,21 @@ func (t Timestamp) Compare(u Timestamp) int {
 	}
 }
 
+// Prev returns the immediate predecessor of t in the total (Time, ClientID)
+// order: the largest timestamp strictly less than t. The read-only fast path
+// uses it to cap a snapshot just below a pending writer's proposed timestamp.
+// Prev of the zero timestamp is the zero timestamp itself (nothing orders
+// below it).
+func (t Timestamp) Prev() Timestamp {
+	if t.ClientID > 0 {
+		return Timestamp{Time: t.Time, ClientID: t.ClientID - 1}
+	}
+	if t.Time == 0 {
+		return Zero
+	}
+	return Timestamp{Time: t.Time - 1, ClientID: ^uint64(0)}
+}
+
 // Max returns the later of t and u.
 func Max(t, u Timestamp) Timestamp {
 	if t.Less(u) {

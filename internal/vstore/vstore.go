@@ -284,6 +284,41 @@ func (s *Store) ReadAt(key string, ts timestamp.Timestamp) (Version, bool) {
 	return Version{}, false
 }
 
+// SnapshotRead serves one key of a read-only snapshot transaction at snap.
+// In a single critical section it
+//
+//  1. raises the key's read timestamp to snap, so any write or op that has
+//     not yet validated here can never commit at or below snap
+//     (ValidateWrite checks ts < rts), and
+//  2. computes the key's *confirmation bound*: snap itself if no pending
+//     writer sits at or below snap, else just below the earliest such writer
+//     (that writer's outcome is still undecided, so versions at or under
+//     snap are not yet final with respect to this replica).
+//
+// The returned version is the newest committed one with WTS <= snap (ok
+// false if none). The entry is created if missing: the rts guard must hold
+// for never-written keys too, otherwise a later first write could slide
+// under an already-confirmed snapshot.
+func (s *Store) SnapshotRead(key string, snap timestamp.Timestamp) (Version, timestamp.Timestamp, bool) {
+	e := s.getOrCreate(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.rts.Less(snap) {
+		e.rts = snap
+		e.appliedAt = time.Now().UnixNano()
+	}
+	bound := snap
+	if w, ok := e.writers.min(); ok && w.LessEq(snap) {
+		bound = w.Prev()
+	}
+	for i := len(e.versions) - 1; i >= 0; i-- {
+		if e.versions[i].WTS.LessEq(snap) {
+			return e.versions[i], bound, true
+		}
+	}
+	return Version{}, bound, false
+}
+
 // ValidateRead performs the read-set half of the paper's Algorithm 1 for a
 // single key: it aborts if the latest committed version is newer than the
 // one the transaction read (e.wts > readWTS), if the value at that version
@@ -325,7 +360,13 @@ func (s *Store) ValidateWrite(key string, ts timestamp.Timestamp) bool {
 	e := s.getOrCreate(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if ts.Less(e.rts) {
+	// Equality aborts too: commit timestamps are client-unique, so ts == rts
+	// never happens between ordinary transactions — but a rounded-down
+	// snapshot raises rts to a derived timestamp (a pending writer's Prev),
+	// which CAN collide with another writer's exact proposal. That snapshot
+	// was served without this write, so committing at the same timestamp
+	// would serialize the write before the read it never reached.
+	if ts.LessEq(e.rts) {
 		return false
 	}
 	if r, ok := e.readers.max(); ok && ts.Less(r) {
@@ -333,6 +374,19 @@ func (s *Store) ValidateWrite(key string, ts timestamp.Timestamp) bool {
 	}
 	e.writers.add(ts)
 	return true
+}
+
+// AddWriter registers ts as a pending writer of key without any OCC check.
+// The slow-path accept phase uses it: a replica adopting ACCEPT-COMMIT for a
+// transaction it never validated must still surface the undecided write to
+// the snapshot-read bound, and the accept decision is Paxos's to make, not
+// OCC's to refuse. The registration is cleared by the same CommitWrite/
+// CommitOp/RemoveWriter paths as a validated one's.
+func (s *Store) AddWriter(key string, ts timestamp.Timestamp) {
+	e := s.getOrCreate(key)
+	e.mu.Lock()
+	e.writers.add(ts)
+	e.mu.Unlock()
 }
 
 // RemoveReader backs out a pending read registration (abort cleanup).

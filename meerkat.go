@@ -182,6 +182,10 @@ type Config struct {
 	SharedTRecord bool
 	// DisableFastPath forces all commits through the slow path (ablation).
 	DisableFastPath bool
+	// DisableReadOnlyFastPath forces read-only transactions through the
+	// classic validated two-round commit instead of the one-round snapshot
+	// path (ablation; see Txn.ReadOnly).
+	DisableReadOnlyFastPath bool
 
 	// CommitTimeout bounds each protocol round-trip wait; Retries bounds
 	// resends. Defaults: 100ms, 10.
@@ -520,7 +524,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			}
 		}
 		for r := 0; r < cfg.Replicas; r++ {
-			rep, err := c.newReplica(p, r, stores[r], wals[r])
+			rep, err := c.newReplica(p, r, stores[r], wals[r], false)
 			if err != nil {
 				for i := r; i < cfg.Replicas; i++ {
 					if wals[i] != nil {
@@ -547,7 +551,7 @@ func maxInt(a, b int) int {
 	return b
 }
 
-func (c *Cluster) newReplica(p, r int, store *vstore.Store, w *wal.Store) (*replica.Replica, error) {
+func (c *Cluster) newReplica(p, r int, store *vstore.Store, w *wal.Store, recovering bool) (*replica.Replica, error) {
 	rep, err := replica.New(replica.Config{
 		Topo:                 c.topo,
 		Partition:            p,
@@ -560,6 +564,7 @@ func (c *Cluster) newReplica(p, r int, store *vstore.Store, w *wal.Store) (*repl
 		StaleAfter:           c.cfg.StaleAfter,
 		CompactOnEpochChange: c.cfg.CompactOnEpochChange,
 		Obs:                  c.obs,
+		Recovering:           recovering,
 	})
 	if err != nil {
 		return nil, err
@@ -720,7 +725,7 @@ func (c *Cluster) RecoverReplica(p, r int) error {
 		}
 		return err
 	}
-	rep, err := c.newReplica(p, r, store, w)
+	rep, err := c.newReplica(p, r, store, w, true)
 	if err != nil {
 		if w != nil {
 			w.Close()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"meerkat/internal/checker"
+	"meerkat/internal/obs"
 	"meerkat/internal/timestamp"
 )
 
@@ -25,12 +26,17 @@ type stressConfig struct {
 	// their reads and writes, so the checker's value replay covers
 	// commutative merges interleaved with plain OCC transactions.
 	ops bool
+	// roSnapshot routes the read-only transactions through the snapshot
+	// fast path (Txn.ReadOnly): they commit with zero validation rounds
+	// when confirmed and demote when not, and either way their reads join
+	// the history for the checker to verify against the concurrent writes.
+	roSnapshot bool
 }
 
 // runSerializabilityStress hammers the cluster with random multi-key
 // transactions from concurrent clients and checks the committed history is
 // one-copy serializable in timestamp order.
-func runSerializabilityStress(t *testing.T, cfg stressConfig) *checker.History {
+func runSerializabilityStress(t *testing.T, cfg stressConfig) (*checker.History, *Cluster) {
 	t.Helper()
 	c := newTestCluster(t, cfg.cluster)
 	initial := make(map[string]timestamp.Timestamp, cfg.keys)
@@ -56,6 +62,9 @@ func runSerializabilityStress(t *testing.T, cfg stressConfig) *checker.History {
 				txn := cl.Begin()
 				nKeys := 1 + rng.Intn(3)
 				readOnly := rng.Intn(4) == 0
+				if readOnly && cfg.roSnapshot {
+					txn.ReadOnly()
+				}
 				ok := true
 				seen := map[int]bool{}
 				for k := 0; k < nKeys; k++ {
@@ -83,7 +92,8 @@ func runSerializabilityStress(t *testing.T, cfg stressConfig) *checker.History {
 					hist.Add(checker.CommittedTxn{
 						ID: txn.inner.ID(), TS: txn.inner.Timestamp(),
 						ReadSet: txn.inner.ReadSet(), WriteSet: txn.inner.WriteSet(),
-						OpSet: txn.inner.OpSet(),
+						OpSet:    txn.inner.OpSet(),
+						ReadOnly: txn.CommittedReadOnly(),
 					})
 				}
 			}
@@ -103,7 +113,7 @@ func runSerializabilityStress(t *testing.T, cfg stressConfig) *checker.History {
 		}
 	}
 	t.Logf("committed %d transactions", hist.Len())
-	return hist
+	return hist, c
 }
 
 func TestSerializabilityMultiPartition(t *testing.T) {
@@ -138,7 +148,7 @@ func TestSerializabilityUnderReordering(t *testing.T) {
 func TestSerializabilityHighContention(t *testing.T) {
 	// Two keys, many writers: worst case for OCC. Lots of aborts are fine;
 	// any serializability violation is not.
-	hist := runSerializabilityStress(t, stressConfig{
+	hist, _ := runSerializabilityStress(t, stressConfig{
 		cluster:  Config{Cores: 2, CommitTimeout: 50 * time.Millisecond},
 		clients:  8,
 		txnsEach: 50,
@@ -161,6 +171,32 @@ func TestSerializabilityMixedOps(t *testing.T) {
 		seed:     400,
 		ops:      true,
 	})
+}
+
+func TestSerializabilityReadOnlySnapshots(t *testing.T) {
+	// Snapshot read-only transactions racing plain writes AND commutative
+	// increments across two partitions. The dangerous interleavings are (a)
+	// an RO snapshot straddling a prepared-but-undecided writer — the per-key
+	// rts guard must either show the write or prevent it from committing at
+	// or below the snapshot — and (b) an increment merging below a version an
+	// RO transaction already read, which the checker's value replay catches
+	// by hash. RO transactions that demote still land in the history as
+	// validated reads, so every path is checked.
+	hist, c := runSerializabilityStress(t, stressConfig{
+		cluster:    Config{Partitions: 2, Cores: 2, CommitTimeout: 50 * time.Millisecond},
+		clients:    8,
+		txnsEach:   50,
+		keys:       4,
+		seed:       500,
+		ops:        true,
+		roSnapshot: true,
+	})
+	snap := c.Obs().Snapshot()
+	if snap.Counters[obs.TxnCommitRO] == 0 {
+		t.Fatal("no transaction committed on the read-only fast path; the stress exercised nothing")
+	}
+	t.Logf("ro commits %d, fallbacks %d, of %d total",
+		snap.Counters[obs.TxnCommitRO], snap.Counters[obs.ROFallback], hist.Len())
 }
 
 func TestClientStats(t *testing.T) {
