@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-udp bench-wal bench-zipf bench-ro chaos check
+.PHONY: build test race vet bench bench-json bench-udp bench-wal bench-zipf bench-ro bench-shard chaos check
 
 build:
 	$(GO) build ./...
@@ -65,3 +65,11 @@ bench-zipf:
 # commits that actually rode the fast path.
 bench-ro:
 	$(GO) run ./cmd/meerkat-bench -exp ro -measure $(MEASURE) -json BENCH_pr9.json
+
+# Horizontal scaling of the sharded cluster layer: Retwis goodput at 1, 2,
+# and 4 shards under the inproc endpoint capacity model (clients homed per
+# shard, keys routed by the versioned hash-range shard map), plus a
+# split-under-load timeline — the dip while shard 0 seals, fences, and
+# migrates half the keyspace, then the recovery onto doubled capacity.
+bench-shard:
+	$(GO) run ./cmd/meerkat-bench -exp shard -measure $(MEASURE) -json BENCH_pr10.json

@@ -1,0 +1,235 @@
+package meerkat
+
+import (
+	"fmt"
+
+	"meerkat/internal/faultnet"
+	"meerkat/internal/obs"
+	"meerkat/internal/replica"
+	"meerkat/internal/shardmap"
+	"meerkat/internal/timestamp"
+	"meerkat/internal/wal"
+)
+
+// Admin is the DB's administrative facade: shard-map introspection, online
+// resharding, and the cluster-level controls (fault injection, replica
+// lifecycle, metrics) that used to live as ad-hoc Cluster methods. Obtain it
+// with DB.Admin.
+type Admin struct {
+	db *DB
+}
+
+// ShardMap returns the current authoritative shard map (immutable; never
+// nil). Its version increases by one per completed Split.
+func (a *Admin) ShardMap() *shardmap.Map { return a.db.source.Current() }
+
+// Shards reports how many groups currently own a range and how many are
+// provisioned in total (the Split headroom).
+func (a *Admin) Shards() (owned, provisioned int) {
+	return len(a.db.source.Current().Groups()), len(a.db.own)
+}
+
+// Split moves the upper half of shard src's widest hash range onto an idle
+// provisioned group, live, and returns the new owner. The migration uses the
+// epoch change as its fence:
+//
+//  1. Seal: src's replicas install the successor map and start redirecting
+//     the moved range. New transactions on moved keys abort with a redirect.
+//  2. Fence: an epoch change on src pauses the group, merges its transaction
+//     records, and finalizes every in-flight transaction — after it, the
+//     moved range's committed state is complete and frozen on src's live
+//     replicas (reads can no longer raise it either; sealed replicas reject
+//     reads too).
+//  3. Migrate: the union of the moved range's committed state across src's
+//     live replicas (max-timestamp per key — imports are monotone, so the
+//     union is safe) is installed on dst's live replicas. Read timestamps
+//     move with the data, so a read serialized before the split stays
+//     serialized after it.
+//  4. Open: dst's replicas install the successor map and begin serving the
+//     range.
+//  5. Publish: the map is persisted (durable clusters), then published;
+//     client caches refresh on their next redirect.
+//
+// Split is safe to retry after a mid-sequence failure: re-running it from
+// the same source map recomputes the same successor version, and installs,
+// imports, and publishes are all idempotent and monotone. While a failed
+// split is un-retried the moved range is sealed but unowned — transactions
+// touching it abort with ErrWrongShard until a retry completes the handoff.
+//
+// Concurrent Splits serialize; routing and running transactions never block
+// on one (only transactions touching the moved range are affected).
+func (a *Admin) Split(src int) (dst int, err error) {
+	db := a.db
+	db.splitMu.Lock()
+	defer db.splitMu.Unlock()
+
+	cur := db.source.Current()
+	if src < 0 || src >= len(db.own) {
+		return -1, fmt.Errorf("meerkat: split source %d out of range [0,%d)", src, len(db.own))
+	}
+	owned := make(map[int]bool)
+	for _, g := range cur.Groups() {
+		owned[g] = true
+	}
+	dst = -1
+	for p := 0; p < len(db.own); p++ {
+		if !owned[p] {
+			dst = p
+			break
+		}
+	}
+	if dst < 0 {
+		return -1, errNoIdleShard
+	}
+	next, lo, hi, err := cur.Split(src, dst)
+	if err != nil {
+		return -1, err
+	}
+
+	// 1. Seal. From here on src's replicas redirect the moved range; the
+	// install is monotone, so a crash-and-retry cannot roll it back.
+	db.own[src].Install(next)
+
+	// 2. Fence. The epoch change finalizes every transaction in flight on
+	// src — including ones that validated the moved range before the seal —
+	// so after it the range's committed state is complete.
+	if err := db.c.EpochChange(src); err != nil {
+		return -1, fmt.Errorf("meerkat: split fence (epoch change on shard %d): %w", src, err)
+	}
+
+	// 3. Migrate the moved range's committed state.
+	if err := db.migrate(src, dst, lo, hi); err != nil {
+		return -1, err
+	}
+
+	// 4. Open the range on its new owner.
+	db.own[dst].Install(next)
+
+	// 5. Durable before visible: persist the map, then publish it. A crash
+	// between the two re-runs the split idempotently on restart (the
+	// persisted map already names dst as owner; Open rebuilds views from it).
+	if db.mapPath != "" {
+		if err := next.Save(db.mapPath); err != nil {
+			return -1, fmt.Errorf("meerkat: persisting shard map after split: %w", err)
+		}
+	}
+	db.source.Publish(next)
+	return dst, nil
+}
+
+// migrate copies the committed state of the hash range [lo, hi) from shard
+// src's live replicas onto shard dst's live replicas. It runs after the
+// fence, so the range is frozen; the union across live source replicas (max
+// WTS picks each key's value — the Thomas rule — and read timestamps take
+// the max) covers replicas that individually missed an apply.
+func (db *DB) migrate(src, dst int, lo, hi uint32) error {
+	type keyState struct {
+		value []byte
+		wts   timestamp.Timestamp
+		rts   timestamp.Timestamp
+		hasV  bool
+	}
+
+	db.c.mu.Lock()
+	srcReps := append([]*replica.Replica(nil), db.c.replicas[src]...)
+	dstReps := append([]*replica.Replica(nil), db.c.replicas[dst]...)
+	db.c.mu.Unlock()
+
+	union := make(map[string]*keyState)
+	live := 0
+	for _, rep := range srcReps {
+		if rep == nil {
+			continue
+		}
+		live++
+		st := rep.Store()
+		for i := 0; i < st.NumShards(); i++ {
+			for _, ks := range st.ExportShard(i) {
+				if !shardmap.InRange(shardmap.Hash(ks.Key), lo, hi) {
+					continue
+				}
+				u := union[ks.Key]
+				if u == nil {
+					u = &keyState{}
+					union[ks.Key] = u
+				}
+				if !ks.WTS.IsZero() && (!u.hasV || u.wts.Less(ks.WTS)) {
+					u.value, u.wts, u.hasV = ks.Value, ks.WTS, true
+				}
+				if u.rts.Less(ks.RTS) {
+					u.rts = ks.RTS
+				}
+			}
+		}
+	}
+	if live == 0 {
+		return fmt.Errorf("meerkat: shard %d has no live replica to migrate from", src)
+	}
+
+	liveDst := 0
+	for _, rep := range dstReps {
+		if rep == nil {
+			continue
+		}
+		liveDst++
+		for k, u := range union {
+			if u.hasV {
+				// Load logs to the WAL like a committed write, so migrated
+				// data survives restarts on its new owner.
+				rep.Load(k, u.value, u.wts)
+			}
+			if !u.rts.IsZero() {
+				// The read timestamp travels with the key: without it the
+				// new owner could validate a write below a read it never
+				// saw, un-serializing that read.
+				rep.Store().CommitRead(k, u.rts)
+			}
+		}
+	}
+	if liveDst == 0 {
+		return fmt.Errorf("meerkat: shard %d has no live replica to migrate to", dst)
+	}
+	return nil
+}
+
+// Obs returns the observability registry shared by every component of the
+// deployment.
+func (a *Admin) Obs() *obs.Registry { return a.db.c.Obs() }
+
+// EpochChange runs the epoch-change protocol on one shard (checkpointing,
+// post-recovery reconciliation; see Cluster.EpochChange).
+func (a *Admin) EpochChange(shard int) error { return a.db.c.EpochChange(shard) }
+
+// CrashReplica stops replica r of shard s, simulating a process crash (see
+// Cluster.CrashReplica).
+func (a *Admin) CrashReplica(s, r int) { a.db.c.CrashReplica(s, r) }
+
+// RecoverReplica brings replica r of shard s back, state-transferring from a
+// live peer (see Cluster.RecoverReplica). The recovered replica adopts its
+// group's current ownership view, post-split included.
+func (a *Admin) RecoverReplica(s, r int) error { return a.db.c.RecoverReplica(s, r) }
+
+// WALStats aggregates durability counters across all live replicas; ok is
+// false when durability is disabled.
+func (a *Admin) WALStats() (wal.Stats, bool) { return a.db.c.WALStats() }
+
+// NetworkStats reports transport counters (inproc transport only).
+func (a *Admin) NetworkStats() (sent, delivered, dropped uint64) { return a.db.c.NetworkStats() }
+
+// UDPStats reports socket-level counters; ok is false unless the deployment
+// runs on TransportUDP.
+func (a *Admin) UDPStats() (UDPNetStats, bool) { return a.db.c.UDPStats() }
+
+// NodeOf maps (shard, replica index) to the transport node id fault plans
+// address.
+func (a *Admin) NodeOf(s, r int) uint32 { return a.db.c.NodeOf(s, r) }
+
+// ReplicaOf inverts NodeOf; ok is false for ids that are not replica nodes.
+func (a *Admin) ReplicaOf(node uint32) (s, r int, ok bool) { return a.db.c.ReplicaOf(node) }
+
+// FaultNetwork returns the fault-injection layer, or nil without one.
+func (a *Admin) FaultNetwork() *faultnet.Network { return a.db.c.FaultNetwork() }
+
+// FaultEvents returns the channel carrying fired fault events, or nil
+// without a fault plan.
+func (a *Admin) FaultEvents() <-chan faultnet.Event { return a.db.c.FaultEvents() }

@@ -7,6 +7,7 @@ import (
 
 	"meerkat/internal/coordinator"
 	"meerkat/internal/message"
+	"meerkat/internal/shardmap"
 	"meerkat/internal/timestamp"
 )
 
@@ -20,12 +21,26 @@ type Client struct {
 	coord *coordinator.Coordinator
 	id    uint64
 
+	// roDefault marks every transaction read-only at Begin (overridden the
+	// moment it writes); set by DB.Client's WithReadOnlyDefault option.
+	roDefault bool
+
 	committed uint64
 	aborted   uint64
 }
 
 // NewClient registers a new client with the cluster.
+//
+// Deprecated for sharded deployments: a client created this way routes by
+// static key hash and cannot follow shard splits. Open the cluster with
+// meerkat.Open and use DB.Client instead.
 func (c *Cluster) NewClient() (*Client, error) {
+	return c.newClient(nil, false)
+}
+
+// newClient is NewClient with the sharded-routing knobs: sm, when non-nil, is
+// the client's private shard-map cache (DB.Client wires one per client).
+func (c *Cluster) newClient(sm *shardmap.Cache, roDefault bool) (*Client, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -46,13 +61,14 @@ func (c *Cluster) NewClient() (*Client, error) {
 		BackoffMax:              c.cfg.BackoffMax,
 		DisableFastPath:         c.cfg.DisableFastPath,
 		DisableReadOnlyFastPath: c.cfg.DisableReadOnlyFastPath,
+		ShardMap:                sm,
 		Seed:                    c.cfg.Seed + int64(id),
 		Obs:                     c.obs.NewShard(),
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Client{coord: coord, id: id}, nil
+	return &Client{coord: coord, id: id, roDefault: roDefault}, nil
 }
 
 // ID returns the client's unique id.
@@ -76,9 +92,14 @@ type Txn struct {
 	cl    *Client
 }
 
-// Begin starts a transaction.
+// Begin starts a transaction. Clients opened with WithReadOnlyDefault start
+// it read-only (see Txn.ReadOnly; a later write demotes it transparently).
 func (cl *Client) Begin() *Txn {
-	return &Txn{inner: cl.coord.Begin(), cl: cl}
+	inner := cl.coord.Begin()
+	if cl.roDefault {
+		inner.ReadOnly()
+	}
+	return &Txn{inner: inner, cl: cl}
 }
 
 // Read returns the value of key within the transaction. A key that has
@@ -223,6 +244,9 @@ func (cl *Client) Run(ctx context.Context, fn func(*Txn) error) error {
 	attempts := 0
 	err := cl.coord.Run(ctx, func(inner *coordinator.Txn) error {
 		attempts++
+		if cl.roDefault {
+			inner.ReadOnly()
+		}
 		return fn(&Txn{inner: inner, cl: cl})
 	})
 	if err == nil {

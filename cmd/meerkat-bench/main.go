@@ -35,7 +35,7 @@ import (
 )
 
 var (
-	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|udp|wal|zipf|ro|calibrate|all (udp binds real loopback sockets, wal writes real files, and zipf/ro build a cluster per cell, so those run only when asked for explicitly)")
+	exp         = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6a|fig6b|fig7a|fig7b|table1|table2|latency|retwis-latency|faults|udp|wal|zipf|ro|shard|calibrate|all (udp binds real loopback sockets, wal writes real files, and zipf/ro/shard build a cluster per cell, so those run only when asked for explicitly)")
 	faults      = flag.Bool("faults", false, "run the kill-one-replica fault-injection timeline (same as -exp faults)")
 	transportF  = flag.String("transport", "", "\"udp\" runs the wire-level transport comparison (same as -exp udp): batched sendmmsg/recvmmsg + pipelined sessions vs the per-datagram baseline vs inproc")
 	window      = flag.Int("window", 16, "udp experiment: in-flight transactions per pipelined session")
@@ -263,6 +263,19 @@ func main() {
 		run("Read-only fast path (measured: two-round validated vs one-round snapshot)", func() error {
 			pts, err := bench.ROSweep(out, bench.ROOptions{Options: opts})
 			report.Add("ro", pts)
+			return err
+		})
+	}
+	if wantOnly("shard") {
+		run("Shard scaling (measured: 1/2/4-shard Retwis + split-under-load timeline)", func() error {
+			pts, err := bench.ShardSweep(out, bench.ShardOptions{Options: opts})
+			report.Add("shard_sweep", pts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			tl, err := bench.ShardSplitTimeline(out, bench.ShardSplitOptions{Seed: 1})
+			report.Add("shard_split", tl)
 			return err
 		})
 	}

@@ -23,6 +23,7 @@ import (
 
 	"meerkat/internal/clock"
 	"meerkat/internal/coordinator"
+	"meerkat/internal/shardmap"
 	"meerkat/internal/topo"
 	"meerkat/internal/transport"
 	"meerkat/internal/workload"
@@ -33,7 +34,8 @@ func main() {
 		host       = flag.String("host", "127.0.0.1", "cluster address")
 		port       = flag.Int("port", 29000, "base UDP port of the address map")
 		replicas   = flag.Int("replicas", 3, "replicas per partition group")
-		partitions = flag.Int("partitions", 1, "number of partitions")
+		partitions = flag.Int("partitions", 1, "number of partitions (deprecated static routing; prefer -shards)")
+		shards     = flag.Int("shards", 0, "route by the versioned hash-range shard map over this many shards (must match the servers' -shards); 0 keeps static -partitions routing")
 		cores      = flag.Int("cores", 4, "server threads per replica")
 		clientID   = flag.Uint64("id", uint64(os.Getpid()), "unique client id")
 		op         = flag.String("op", "get", "operation: get|mget|put|incr|append|bench")
@@ -44,6 +46,17 @@ func main() {
 		pipeline   = flag.Int("pipeline", 1, "bench: transactions kept in flight over one socket set (pipelined session workers)")
 	)
 	flag.Parse()
+
+	// -shards selects shard-map routing: every process that agrees on the
+	// shard count derives the same version-1 map (splits need a shared map
+	// service, which multi-process deployments don't have yet), and servers
+	// started with the same -shards enforce ownership, so a mismatched
+	// client is redirected instead of silently misrouted.
+	var sm *shardmap.Cache
+	if *shards > 0 {
+		*partitions = *shards
+		sm = shardmap.NewCache(shardmap.NewSource(shardmap.New(*shards)))
+	}
 
 	t := topo.Topology{Partitions: *partitions, Replicas: *replicas, Cores: *cores}
 	coresPerNode := *cores
@@ -59,6 +72,7 @@ func main() {
 		Net:      net,
 		Clock:    clock.NewReal(),
 		Timeout:  200 * time.Millisecond,
+		ShardMap: sm,
 	}
 	// A pipelined bench multiplexes *pipeline workers over one socket set;
 	// everything else drives a single stop-and-wait coordinator. Both paths

@@ -27,6 +27,7 @@ import (
 
 	"meerkat/internal/obs"
 	"meerkat/internal/replica"
+	"meerkat/internal/shardmap"
 	"meerkat/internal/timestamp"
 	"meerkat/internal/topo"
 	"meerkat/internal/transport"
@@ -42,7 +43,8 @@ func main() {
 		partition   = flag.Int("partition", 0, "partition this replica serves")
 		index       = flag.Int("index", 0, "replica index within the partition group")
 		replicas    = flag.Int("replicas", 3, "replicas per partition group")
-		partitions  = flag.Int("partitions", 1, "number of partitions")
+		partitions  = flag.Int("partitions", 1, "number of partitions (deprecated static routing; prefer -shards)")
+		shards      = flag.Int("shards", 0, "serve one shard of a hash-range shard map over this many groups (sets the partition count; clients must pass the same -shards); 0 keeps static -partitions routing")
 		cores       = flag.Int("cores", 4, "server threads")
 		keys        = flag.Int("keys", 0, "pre-load this many benchmark keys")
 		shared      = flag.Bool("shared-record", false, "use the TAPIR-like shared transaction record")
@@ -56,6 +58,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	// -shards puts this replica group behind the deterministic version-1
+	// shard map: it redirects keys it does not own, so a client with a
+	// mismatched shard count fails loudly instead of reading the wrong group.
+	var own *shardmap.Ownership
+	if *shards > 0 {
+		*partitions = *shards
+		own = shardmap.NewOwnership(shardmap.New(*shards), *partition)
 	}
 
 	t := topo.Topology{Partitions: *partitions, Replicas: *replicas, Cores: *cores}
@@ -108,6 +119,7 @@ func main() {
 		Index:        *index,
 		Net:          net,
 		Store:        store,
+		Ownership:    own,
 		SharedRecord: *shared,
 		Obs:          reg,
 		WAL:          w,

@@ -1,0 +1,222 @@
+package meerkat
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"meerkat/internal/shardmap"
+)
+
+// DB is a sharded Meerkat deployment: Config.MaxShards independent replica
+// groups behind a versioned hash-range shard map. Clients obtained from
+// DB.Client / DB.Session route every key locally against a cached copy of the
+// map and follow shard splits automatically (a redirect refreshes the cache
+// and retries); the single-shard fast path is exactly the unsharded protocol,
+// so a one-shard DB costs nothing over a plain Cluster.
+//
+// Open builds a DB; Admin exposes introspection and online resharding
+// (Admin.Split). The embedded Cluster remains reachable through Cluster()
+// for tooling that predates the sharded API.
+type DB struct {
+	c      *Cluster
+	source *shardmap.Source
+	own    []*shardmap.Ownership
+	admin  *Admin
+
+	// mapPath persists the shard map across restarts (durable clusters
+	// only); "" disables persistence.
+	mapPath string
+
+	// splitMu serializes Admin.Split; routing never takes it.
+	splitMu sync.Mutex
+}
+
+// Open starts a sharded deployment per cfg: Config.Shards replica groups own
+// the initial shard map and Config.MaxShards groups are provisioned in total
+// (the headroom Admin.Split grows into). Partitions is derived from
+// MaxShards; setting it explicitly to a conflicting value is an error. With
+// durability enabled the shard map itself persists (DataDir/shardmap.json),
+// so a restarted cluster comes back with its post-split ownership intact.
+//
+// All other Config knobs mean exactly what they mean for NewCluster.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Shards < 0 || cfg.MaxShards < 0 {
+		return nil, fmt.Errorf("meerkat: negative shard count in config (Shards %d, MaxShards %d)", cfg.Shards, cfg.MaxShards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.MaxShards == 0 {
+		cfg.MaxShards = cfg.Shards
+	}
+	if cfg.MaxShards < cfg.Shards {
+		return nil, fmt.Errorf("meerkat: MaxShards %d below Shards %d", cfg.MaxShards, cfg.Shards)
+	}
+	if cfg.Partitions != 0 && cfg.Partitions != cfg.MaxShards {
+		return nil, fmt.Errorf("meerkat: Partitions %d conflicts with MaxShards %d (Open derives Partitions; leave it zero)", cfg.Partitions, cfg.MaxShards)
+	}
+	cfg.Partitions = cfg.MaxShards
+
+	var m *shardmap.Map
+	mapPath := ""
+	if cfg.Durability.Enabled() {
+		mapPath = filepath.Join(cfg.Durability.DataDir, "shardmap.json")
+		pm, err := shardmap.LoadFile(mapPath)
+		if err != nil {
+			return nil, fmt.Errorf("meerkat: loading persisted shard map: %w", err)
+		}
+		m = pm
+	}
+	if m == nil {
+		m = shardmap.New(cfg.Shards)
+	} else {
+		for _, g := range m.Groups() {
+			if g >= cfg.MaxShards {
+				return nil, fmt.Errorf("meerkat: persisted shard map (version %d) references group %d beyond MaxShards %d", m.Version(), g, cfg.MaxShards)
+			}
+		}
+	}
+
+	// Every provisioned group gets an ownership view — including groups that
+	// own no range yet; they redirect everything until a split assigns them
+	// one. The views are shared with the replicas via the config (they
+	// outlive replica crash/recovery).
+	own := make([]*shardmap.Ownership, cfg.MaxShards)
+	for p := range own {
+		own[p] = shardmap.NewOwnership(m, p)
+	}
+	cfg.shardOwn = own
+
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{c: c, source: shardmap.NewSource(m), own: own, mapPath: mapPath}
+	db.admin = &Admin{db: db}
+	if mapPath != "" && m.Version() == 1 {
+		// Persist the initial map so a restart after splits-then-crash can
+		// distinguish "fresh" from "file lost". Best-effort: a failure here
+		// only costs the persisted default, which Open reconstructs anyway.
+		m.Save(mapPath)
+	}
+	return db, nil
+}
+
+// RoutingMode selects how a client maps keys to replica groups.
+type RoutingMode int
+
+const (
+	// RouteShardMap routes against the client's cached shard map, following
+	// splits via redirect-refresh-retry. Default.
+	RouteShardMap RoutingMode = iota
+	// RouteStatic routes by static key hash modulo partitions, the
+	// pre-sharding behaviour. Only valid on a DB provisioned with
+	// MaxShards == 1 (with more, a split would strand the client: static
+	// routing cannot follow the map).
+	RouteStatic
+)
+
+// ClientOption configures a client or session built by DB.Client/DB.Session.
+type ClientOption func(*clientOptions)
+
+type clientOptions struct {
+	window    int
+	roDefault bool
+	mode      RoutingMode
+}
+
+// WithPipeline sets the pipeline window: how many transactions the handle
+// keeps in flight concurrently. DB.Session defaults to 4; DB.Client only
+// accepts 1 (use DB.Session for pipelining — a Client is stop-and-wait by
+// construction).
+func WithPipeline(n int) ClientOption {
+	return func(o *clientOptions) { o.window = n }
+}
+
+// WithReadOnlyDefault marks every transaction read-only at Begin, routing
+// reads through the one-round snapshot fast path; a transaction that writes
+// demotes itself transparently. For read-mostly clients it saves declaring
+// Txn.ReadOnly in every body.
+func WithReadOnlyDefault() ClientOption {
+	return func(o *clientOptions) { o.roDefault = true }
+}
+
+// WithRoutingMode overrides the routing mode (default RouteShardMap).
+func WithRoutingMode(m RoutingMode) ClientOption {
+	return func(o *clientOptions) { o.mode = m }
+}
+
+// resolveOptions folds opts over the defaults and validates the combination
+// against this DB's shape.
+func (db *DB) resolveOptions(defWindow int, opts []ClientOption) (clientOptions, *shardmap.Cache, error) {
+	o := clientOptions{window: defWindow}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.window < 1 {
+		o.window = 1
+	}
+	switch o.mode {
+	case RouteShardMap:
+		return o, shardmap.NewCache(db.source), nil
+	case RouteStatic:
+		if len(db.own) != 1 {
+			return o, nil, fmt.Errorf("meerkat: RouteStatic is only valid with MaxShards == 1 (have %d): static routing cannot follow shard splits", len(db.own))
+		}
+		return o, nil, nil
+	default:
+		return o, nil, fmt.Errorf("meerkat: unknown routing mode %d", o.mode)
+	}
+}
+
+// Client returns a new single-transaction client. It routes by the shard map
+// (its own private cache) unless WithRoutingMode says otherwise; it rejects
+// WithPipeline windows above 1 — pipelining is DB.Session's job.
+func (db *DB) Client(opts ...ClientOption) (*Client, error) {
+	o, sm, err := db.resolveOptions(1, opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.window > 1 {
+		return nil, fmt.Errorf("meerkat: Client does not pipeline (window %d); use DB.Session", o.window)
+	}
+	return db.c.newClient(sm, o.roDefault)
+}
+
+// Session returns a pipelined client session (default window 4; set it with
+// WithPipeline). All workers share one shard-map cache, so one worker's
+// redirect re-routes the whole pipeline.
+func (db *DB) Session(opts ...ClientOption) (*Session, error) {
+	o, sm, err := db.resolveOptions(4, opts)
+	if err != nil {
+		return nil, err
+	}
+	return db.c.newSession(o.window, sm, o.roDefault)
+}
+
+// Load installs key=value on every replica of the key's owning shard,
+// bypassing the transaction protocol — the sharded counterpart of
+// Cluster.Load for pre-loading a database.
+func (db *DB) Load(key string, value []byte) {
+	db.c.loadPartition(db.source.Current().GroupForKey(key), key, value)
+}
+
+// Admin returns the DB's administrative facade: shard-map introspection,
+// online resharding, fault injection, and per-shard lifecycle.
+func (db *DB) Admin() *Admin { return db.admin }
+
+// Cluster returns the underlying cluster, the escape hatch for tooling built
+// against the pre-sharding API. Clients created via Cluster.NewClient route
+// statically and will be redirected forever once a split moves their keys;
+// prefer DB.Client.
+func (db *DB) Cluster() *Cluster { return db.c }
+
+// Close shuts the deployment down (see Cluster.Close). The shard map was
+// persisted at each split, so no map state is lost.
+func (db *DB) Close() { db.c.Close() }
+
+// errNoIdleShard is returned by Admin.Split when every provisioned group
+// already owns a range.
+var errNoIdleShard = errors.New("meerkat: no idle shard group to split into; raise MaxShards")

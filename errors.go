@@ -35,6 +35,21 @@ var (
 	// slots) or the highest address overflows the 16-bit port space.
 	// Returned by Config.Validate / NewCluster before any socket binds.
 	ErrPortMap = errors.New("meerkat: UDP port map invalid")
+
+	// ErrWrongShard means a request reached a replica group that does not
+	// own the key under the cluster's current shard map. The operation had
+	// no effect. Client.Run handles this internally — it refreshes the
+	// client's cached map and re-routes — so callers see it only from bare
+	// operations (Get, a direct Commit) issued while a shard split is
+	// moving the key's range.
+	ErrWrongShard = errors.New("meerkat: wrong shard for key")
+
+	// ErrStaleShardMap is the client-side cause behind ErrWrongShard: the
+	// client routed with a shard map older than the cluster's. Errors
+	// carrying it unwrap to ErrWrongShard too, so callers may branch on
+	// either. Retrying (after the automatic cache refresh) re-routes
+	// correctly once the new map is published.
+	ErrStaleShardMap = fmt.Errorf("%w: shard map is stale", ErrWrongShard)
 )
 
 // mapErr translates internal protocol errors into the public sentinels.
@@ -46,6 +61,11 @@ func mapErr(err error) error {
 		return nil
 	case errors.Is(err, ErrConflict), errors.Is(err, ErrTimeout), errors.Is(err, ErrClusterClosed):
 		return err
+	case errors.Is(err, coordinator.ErrWrongShard):
+		// Unwraps to ErrStaleShardMap, ErrWrongShard, and the internal
+		// sentinel. Checked before ErrTimeout: a wrong-shard abort is a
+		// known outcome, never outcome-unknown.
+		return fmt.Errorf("%w: %w", ErrStaleShardMap, err)
 	case errors.Is(err, coordinator.ErrTimeout):
 		// Multi-%w: the result unwraps to ErrTimeout and to whatever the
 		// internal error carries (e.g. context.DeadlineExceeded).

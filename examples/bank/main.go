@@ -28,16 +28,18 @@ const (
 func acct(i int) string { return fmt.Sprintf("acct-%03d", i) }
 
 func main() {
-	// Two partitions: transfers routinely span both, so commits must be
-	// atomic across replica groups.
-	cluster, err := meerkat.NewCluster(meerkat.Config{Partitions: 2, Cores: 2})
+	// Two shards: transfers routinely span both, so commits must be atomic
+	// across replica groups. (Open replaces the old NewCluster+Partitions
+	// pairing; each shard is an independent replica group behind the
+	// versioned shard map.)
+	db, err := meerkat.Open(meerkat.Config{Shards: 2, Cores: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	defer db.Close()
 
 	for i := 0; i < accounts; i++ {
-		cluster.Load(acct(i), []byte(strconv.Itoa(initialBalance)))
+		db.Load(acct(i), []byte(strconv.Itoa(initialBalance)))
 	}
 
 	// Each transfer runs through Client.Run: conflicts retry with backoff
@@ -50,7 +52,7 @@ func main() {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for tlr := 0; tlr < tellers; tlr++ {
-		client, err := cluster.NewClient()
+		client, err := db.Client()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -96,7 +98,7 @@ func main() {
 	wg.Wait()
 
 	// Audit inside one transaction so the sum is a consistent snapshot.
-	client, err := cluster.NewClient()
+	client, err := db.Client()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,5 +125,5 @@ func main() {
 	if total != accounts*initialBalance {
 		log.Fatal("MONEY WAS CREATED OR DESTROYED — serializability violated")
 	}
-	fmt.Println("invariant holds: serializable, atomic across partitions")
+	fmt.Println("invariant holds: serializable, atomic across shards")
 }

@@ -19,17 +19,17 @@ import (
 )
 
 func main() {
-	cluster, err := meerkat.NewCluster(meerkat.Config{
+	db, err := meerkat.Open(meerkat.Config{
 		Cores:         2,
 		CommitTimeout: 50 * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
-	cluster.Load("ctr", []byte("0"))
+	defer db.Close()
+	db.Load("ctr", []byte("0"))
 
-	client, err := cluster.NewClient()
+	client, err := db.Client()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,14 +70,14 @@ func main() {
 	fmt.Printf("  ctr = %d\n", read())
 
 	fmt.Println("crashing replica 2 ...")
-	cluster.CrashReplica(0, 2)
+	db.Admin().CrashReplica(0, 2)
 	start := time.Now()
 	incr(20)
 	fmt.Printf("  20 increments with 2/3 replicas (slow path) in %v, ctr = %d\n",
 		time.Since(start).Round(time.Millisecond), read())
 
 	fmt.Println("recovering replica 2 (state transfer + epoch change) ...")
-	if err := cluster.RecoverReplica(0, 2); err != nil {
+	if err := db.Admin().RecoverReplica(0, 2); err != nil {
 		log.Fatal(err)
 	}
 	incr(20)

@@ -11,15 +11,17 @@ import (
 )
 
 func main() {
-	// A zero-value Config gives 3 replicas x 4 cores on the in-process
-	// kernel-bypass-class transport.
-	cluster, err := meerkat.NewCluster(meerkat.Config{})
+	// A zero-value Config gives a single-shard deployment of 3 replicas x
+	// 4 cores on the in-process kernel-bypass-class transport. Open is the
+	// sharding-aware entry point; clients it hands out route by the shard
+	// map and follow splits automatically.
+	db, err := meerkat.Open(meerkat.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	defer db.Close()
 
-	client, err := cluster.NewClient()
+	client, err := db.Client()
 	if err != nil {
 		log.Fatal(err)
 	}

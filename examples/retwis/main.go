@@ -141,12 +141,14 @@ func (a *app) timeline(user string) ([]string, error) {
 }
 
 func main() {
-	cluster, err := meerkat.NewCluster(meerkat.Config{Cores: 2})
+	// One shard serving, a second provisioned: MaxShards is the headroom a
+	// live split (below) grows into.
+	db, err := meerkat.Open(meerkat.Config{Cores: 2, Shards: 1, MaxShards: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
-	client, err := cluster.NewClient()
+	defer db.Close()
+	client, err := db.Client()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -167,6 +169,16 @@ func main() {
 	}
 	if err := a.follow("ada", "grace"); err != nil {
 		log.Fatal(err)
+	}
+
+	// Grow the deployment online: move half the keyspace onto the idle
+	// shard. Existing clients keep working — their first request for a moved
+	// key is redirected, refreshes their cached shard map, and retries.
+	if dst, err := db.Admin().Split(0); err != nil {
+		log.Fatal(err)
+	} else {
+		m := db.Admin().ShardMap()
+		fmt.Printf("split shard 0 -> %d live (map v%d, %d ranges)\n\n", dst, m.Version(), m.NumRanges())
 	}
 
 	rng := rand.New(rand.NewSource(1))

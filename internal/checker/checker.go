@@ -68,6 +68,18 @@ func (h *History) Add(t CommittedTxn) {
 	h.mu.Unlock()
 }
 
+// Range calls fn for every recorded transaction in insertion order until fn
+// returns false. fn must not retain the pointer past the call.
+func (h *History) Range(fn func(*CommittedTxn) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.txns {
+		if !fn(&h.txns[i]) {
+			return
+		}
+	}
+}
+
 // Len returns the number of recorded transactions.
 func (h *History) Len() int {
 	h.mu.Lock()

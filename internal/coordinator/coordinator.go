@@ -12,11 +12,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"meerkat/internal/clock"
 	"meerkat/internal/message"
 	"meerkat/internal/obs"
+	"meerkat/internal/shardmap"
 	"meerkat/internal/timestamp"
 	"meerkat/internal/topo"
 	"meerkat/internal/transport"
@@ -28,6 +30,14 @@ var (
 	// needed within its retry budget; the transaction's outcome is
 	// unknown (a backup coordinator will eventually finish it).
 	ErrTimeout = errors.New("coordinator: timed out, outcome unknown")
+	// ErrWrongShard means a replica refused a request because, under its
+	// current shard map, it no longer owns some of the keys — the client
+	// routed with a stale map. The coordinator's map cache has already been
+	// refreshed by the time callers see this error. Unlike ErrTimeout, a
+	// commit that returns ErrWrongShard is a known abort: the partition
+	// either refused before creating any record or was driven to an
+	// authoritative outcome through coordinator recovery.
+	ErrWrongShard = errors.New("coordinator: wrong shard, routing map is stale")
 )
 
 // Config parameterizes a coordinator.
@@ -58,6 +68,12 @@ type Config struct {
 	// classic validated two-round commit, the ablation knob behind the
 	// one-round-vs-two-round read experiment.
 	DisableReadOnlyFastPath bool
+	// ShardMap, when non-nil, routes each key to the replica group owning
+	// its hash range under the cached cluster shard map, instead of the
+	// topology's static key-hash modulo. On a wrong-shard redirect the
+	// coordinator refreshes the cache; Run re-routes and retries. Nil keeps
+	// the legacy static routing.
+	ShardMap *shardmap.Cache
 	// Seed seeds core/replica load-balancing choices. Zero means seed
 	// from ClientID.
 	Seed int64
@@ -235,6 +251,14 @@ type Coordinator struct {
 	// reads can never miss that session's own writes.
 	lastTS timestamp.Timestamp
 
+	// rerouted latches that a wrong-shard redirect refreshed the shard-map
+	// cache to a newer version, so Run's next retry can skip the backoff —
+	// the re-routed attempt goes to a different replica group and cannot
+	// re-collide with whatever aborted this one. Atomic because the
+	// concurrent per-partition validate goroutines of one commit may all
+	// observe redirects.
+	rerouted atomic.Bool
+
 	// groups[p*Cores+core] is the broadcast destination set for (p, core),
 	// precomputed once so the per-commit phases never allocate it. Immutable
 	// after New, hence safe to read from concurrent per-partition goroutines.
@@ -245,6 +269,42 @@ type Coordinator struct {
 // replica of partition p.
 func (c *Coordinator) group(p int, core uint32) []message.Addr {
 	return c.groups[p*c.cfg.Topo.Cores+int(core)]
+}
+
+// partitionFor routes key to its partition: through the shard-map cache when
+// the coordinator is shard-aware, else the topology's static key hash. The
+// cache read is one atomic pointer load and the range lookup a binary search
+// over a few entries — no allocation, no lock.
+func (c *Coordinator) partitionFor(key string) int {
+	if c.cfg.ShardMap != nil {
+		return c.cfg.ShardMap.Current().GroupForKey(key)
+	}
+	return c.cfg.Topo.PartitionForKey(key)
+}
+
+// mapVersion is the shard-map version outgoing requests are stamped with, so
+// replicas can tell how stale a redirected client is (0 = not shard-aware).
+func (c *Coordinator) mapVersion() uint64 {
+	if c.cfg.ShardMap == nil {
+		return 0
+	}
+	return c.cfg.ShardMap.Current().Version()
+}
+
+// noteRedirect refreshes the shard-map cache after a wrong-shard reply and
+// reports whether the refresh advanced to a newer map — in which case an
+// immediate re-routed retry is worthwhile, and rerouted is latched for Run.
+// Safe to call from the concurrent per-partition validate goroutines.
+func (c *Coordinator) noteRedirect() bool {
+	if c.cfg.ShardMap == nil {
+		return false
+	}
+	_, advanced := c.cfg.ShardMap.Refresh()
+	if advanced {
+		c.obs.Inc(obs.MapRefresh)
+		c.rerouted.Store(true)
+	}
+	return advanced
 }
 
 // newCore builds a coordinator without binding any endpoints; New installs
@@ -332,7 +392,6 @@ func (c *Coordinator) Read(key string) (value []byte, version timestamp.Timestam
 // context's remaining time, and cancellation ends the retry loop early.
 // Reads are idempotent, so a context-expired read is always safe to retry.
 func (c *Coordinator) ReadCtx(ctx context.Context, key string) (value []byte, version timestamp.Timestamp, ok bool, err error) {
-	p := c.cfg.Topo.PartitionForKey(key)
 	c.readSeq++
 	seq := c.readSeq
 	c.readInbox.Drain()
@@ -348,26 +407,42 @@ func (c *Coordinator) ReadCtx(ctx context.Context, key string) (value []byte, ve
 		if berr != nil {
 			return nil, timestamp.Timestamp{}, false, berr
 		}
+		// Routed per attempt: a wrong-shard redirect below refreshes the map
+		// cache, and the resent read must go to the new owner.
+		p := c.partitionFor(key)
 		// Load-balance GETs across replicas and cores, as in §6.2.
 		r := c.rng.Intn(c.cfg.Topo.Replicas)
 		core := uint32(c.rng.Intn(c.cfg.Topo.Cores))
 		dst := c.cfg.Topo.ReplicaAddr(p, r, core)
-		err = c.readEp.Send(dst, &message.Message{Type: message.TypeRead, Key: key, Seq: seq})
+		err = c.readEp.Send(dst, &message.Message{Type: message.TypeRead, Key: key, Seq: seq, MapVersion: c.mapVersion()})
 		if err != nil {
 			return nil, timestamp.Timestamp{}, false, err
 		}
 		deadline := c.rt.arm(budget)
+	wait:
 		for {
 			select {
 			case m := <-c.readInbox.C:
 				if m.Type != message.TypeReadReply || m.Seq != seq {
 					continue // stale reply
 				}
+				if m.WrongShard {
+					// Routed with a stale map. If the refresh advanced it,
+					// the next attempt re-routes (reads are idempotent);
+					// otherwise the split is still mid-fence and the caller
+					// must back off before asking again.
+					c.obs.Inc(obs.TxnWrongShard)
+					if !c.noteRedirect() {
+						return nil, timestamp.Timestamp{}, false, ErrWrongShard
+					}
+					break wait
+				}
 				return m.Value, m.TS, m.OK, nil
 			case <-ctx.Done():
+				break wait
 			case <-deadline:
+				break wait
 			}
-			break
 		}
 	}
 	return nil, timestamp.Timestamp{}, false, ErrTimeout
@@ -382,7 +457,7 @@ func (c *Coordinator) sendMultiRead(p int, keys []string, seq uint64) error {
 	r := c.rng.Intn(c.cfg.Topo.Replicas)
 	core := uint32(c.rng.Intn(c.cfg.Topo.Cores))
 	dst := c.cfg.Topo.ReplicaAddr(p, r, core)
-	return c.commitEps[p].Send(dst, &message.Message{Type: message.TypeMultiRead, Keys: keys, Seq: seq})
+	return c.commitEps[p].Send(dst, &message.Message{Type: message.TypeMultiRead, Keys: keys, Seq: seq, MapVersion: c.mapVersion()})
 }
 
 // ReadMany performs one batched execution phase over keys: the keys are
@@ -432,7 +507,7 @@ func (c *Coordinator) ReadManyCtx(ctx context.Context, keys []string) ([]message
 	}
 	kp, origIdx := c.keyParts[:len(keys)], c.origIdx[:len(keys)]
 	for i, k := range keys {
-		p := c.cfg.Topo.PartitionForKey(k)
+		p := c.partitionFor(k)
 		kp[i] = p
 		cursor[p]++
 	}
@@ -511,7 +586,18 @@ func (c *Coordinator) ReadManyCtx(ctx context.Context, keys []string) ([]message
 						break wait
 					}
 				}
-				if m.Type != message.TypeMultiReadReply || m.Seq != seq || len(m.Reads) != want {
+				if m.Type != message.TypeMultiReadReply || m.Seq != seq {
+					continue // stale reply from an earlier operation
+				}
+				if m.WrongShard {
+					// The whole grouping was computed from a stale map:
+					// refresh and make the caller re-issue the batch, which
+					// will regroup every key under the new map.
+					c.obs.Inc(obs.TxnWrongShard)
+					c.noteRedirect()
+					return nil, ErrWrongShard
+				}
+				if len(m.Reads) != want {
 					continue // stale reply from an earlier operation
 				}
 				for j := range m.Reads {
@@ -889,15 +975,26 @@ func (t *Txn) Resolve() (bool, error) {
 func (c *Coordinator) Run(ctx context.Context, fn func(*Txn) error) error {
 	// Run executes on the coordinator's own goroutine, so the shared rng is
 	// safe for its backoff jitter.
+	immediate := false
 	for attempt := 0; ; attempt++ {
-		if attempt > 0 {
+		if attempt > 0 && !immediate {
 			sleep(ctx, backoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt-1, &c.rng), &c.rt)
 		}
+		immediate = false
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("%w: %w", ErrTimeout, err)
 		}
 		t := c.Begin()
 		if err := fn(t); err != nil {
+			if errors.Is(err, ErrWrongShard) && ctx.Err() == nil {
+				// A read hit a moved range; the map cache was refreshed at
+				// the reply site. Retry — immediately if the refresh
+				// advanced the map (the re-routed attempt goes to a
+				// different group), with backoff if the split is still
+				// mid-fence and the new map is not published yet.
+				immediate = c.rerouted.Swap(false)
+				continue
+			}
 			if errors.Is(err, ErrTimeout) && ctx.Err() == nil {
 				continue // a timed-out read is safe to retry
 			}
@@ -905,6 +1002,12 @@ func (c *Coordinator) Run(ctx context.Context, fn func(*Txn) error) error {
 		}
 		ok, err := t.CommitCtx(ctx)
 		if err != nil {
+			if errors.Is(err, ErrWrongShard) && ctx.Err() == nil {
+				// The commit aborted on a wrong-shard redirect — a known
+				// outcome, not a timeout. Re-route and retry, as above.
+				immediate = c.rerouted.Swap(false)
+				continue
+			}
 			if !errors.Is(err, ErrTimeout) || ctx.Err() != nil {
 				return err
 			}
@@ -986,13 +1089,13 @@ func (c *Coordinator) split(t *Txn, tid timestamp.TxnID) []partTxn {
 	}
 	kp := c.keyParts[:0]
 	for i := range t.reads {
-		kp = append(kp, c.cfg.Topo.PartitionForKey(t.reads[i].Key))
+		kp = append(kp, c.partitionFor(t.reads[i].Key))
 	}
 	for i := range t.writes {
-		kp = append(kp, c.cfg.Topo.PartitionForKey(t.writes[i].Key))
+		kp = append(kp, c.partitionFor(t.writes[i].Key))
 	}
 	for i := range t.ops {
-		kp = append(kp, c.cfg.Topo.PartitionForKey(t.ops[i].Key))
+		kp = append(kp, c.partitionFor(t.ops[i].Key))
 	}
 	c.keyParts = kp
 	for _, p := range kp {
@@ -1094,9 +1197,20 @@ func (c *Coordinator) commit(ctx context.Context, t *Txn) (bool, error) {
 	// reason is taken from how the aborting partition decided: a fast-path
 	// supermajority of VALIDATED-ABORT is a validation conflict, a slow-path
 	// decision is an accept-abort.
-	committed, anySlow, abortSlow := true, false, false
+	committed, anySlow, abortSlow, redirected := true, false, false, false
 	for _, r := range results {
 		if r.err != nil {
+			if errors.Is(r.err, ErrWrongShard) {
+				// A known abort on a wrong-shard redirect (see
+				// validatePhase), not an unknown outcome: record it and keep
+				// joining, so the abort broadcast below still reaches every
+				// partition and finalizes any straggler VALIDATED-OK
+				// records.
+				committed = false
+				redirected = true
+				anySlow = anySlow || r.slow
+				continue
+			}
 			if errors.Is(r.err, ErrTimeout) {
 				c.obs.Inc(obs.TxnAbortTimeout)
 				// Outcome unknown: remember which (partition, core) groups
@@ -1135,6 +1249,13 @@ func (c *Coordinator) commit(ctx context.Context, t *Txn) (bool, error) {
 	if committed && c.lastTS.Less(ts) {
 		c.lastTS = ts // snapshot round-down floor (see snapshotBegin)
 	}
+	if redirected {
+		// Surface the redirect: Run refreshes its routing and retries the
+		// whole transaction against the new map instead of treating this as
+		// a conflict. TxnWrongShard was counted where the redirect landed.
+		c.obs.Observe(obs.HistAbort, time.Since(start))
+		return false, ErrWrongShard
+	}
 	switch {
 	case committed && !anySlow:
 		c.obs.Inc(obs.TxnCommitFast)
@@ -1170,7 +1291,7 @@ func (c *Coordinator) validatePhase(ctx context.Context, p int, txn *message.Txn
 	// c.rng: multi-partition commits run one validatePhase per goroutine.
 	jrng := transport.SeedSplitMix64(uint64(c.cfg.Seed) ^ txn.ID.Seq<<8 ^ uint64(p))
 
-	req := message.Message{Type: message.TypeValidate, Txn: *txn, TID: txn.ID, TS: ts, CoreID: coreID}
+	req := message.Message{Type: message.TypeValidate, Txn: *txn, TID: txn.ID, TS: ts, CoreID: coreID, MapVersion: c.mapVersion()}
 
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -1192,7 +1313,7 @@ func (c *Coordinator) validatePhase(ctx context.Context, p int, txn *message.Txn
 		// allocation per commit attempt on the hot path.
 		var seen uint64 // bit i set <=> replica i replied
 		replied := 0
-		countOK, countAbort := 0, 0
+		countOK, countAbort, countWrong := 0, 0, 0
 		deadline := pt.deadline.arm(budget)
 		var grace <-chan time.Time
 	collect:
@@ -1223,23 +1344,32 @@ func (c *Coordinator) validatePhase(ctx context.Context, p int, txn *message.Txn
 			}
 			seen |= 1 << m.ReplicaID
 			replied++
-			switch m.Status {
-			case message.StatusValidatedOK:
-				countOK++
-			case message.StatusValidatedAbort:
-				countAbort++
-			case message.StatusCommitted:
-				// Another coordinator already finished it.
-				return true, false, nil
-			case message.StatusAborted:
-				return false, false, nil
-			}
-			if !c.cfg.DisableFastPath {
-				if countOK >= fast {
+			if m.WrongShard {
+				// The replica refused: under its current map it no longer
+				// owns part of this piece — a shard split sealed the range
+				// between the client's routing decision and this validate.
+				// Keep collecting; how many replicas validated OK before the
+				// seal decides (below) whether a plain abort is safe.
+				countWrong++
+			} else {
+				switch m.Status {
+				case message.StatusValidatedOK:
+					countOK++
+				case message.StatusValidatedAbort:
+					countAbort++
+				case message.StatusCommitted:
+					// Another coordinator already finished it.
 					return true, false, nil
-				}
-				if countAbort >= fast {
+				case message.StatusAborted:
 					return false, false, nil
+				}
+				if !c.cfg.DisableFastPath {
+					if countOK >= fast {
+						return true, false, nil
+					}
+					if countAbort >= fast {
+						return false, false, nil
+					}
 				}
 			}
 			if replied == n {
@@ -1252,6 +1382,29 @@ func (c *Coordinator) validatePhase(ctx context.Context, p int, txn *message.Txn
 				}
 				grace = pt.grace.arm(g)
 			}
+		}
+
+		// Wrong-shard redirects: the client routed this piece with a stale
+		// map. Aborting outright is only safe if no merge or recovery rule
+		// could later decide commit — the epoch merge re-validates anything
+		// with ceil(f/2)+1 VALIDATED-OK records (rule 4), and replicas that
+		// never replied must be assumed to have validated OK before the
+		// seal. Below that worst-case threshold the redirect is a provably
+		// safe abort; at or above it, learn the authoritative outcome
+		// through coordinator recovery instead of guessing.
+		if countWrong > 0 {
+			c.obs.Inc(obs.TxnWrongShard)
+			c.noteRedirect()
+			if countOK+(n-replied) >= (c.cfg.Topo.F()+1)/2+1 {
+				commit, err = c.RecoverTxn(p, txn.ID, coreID, 0)
+				if err == nil && !commit {
+					// Known abort via recovery: surface the redirect so the
+					// caller re-routes instead of conflict-backing-off.
+					err = ErrWrongShard
+				}
+				return commit, true, err
+			}
+			return false, false, ErrWrongShard
 		}
 
 		// Step 4: the fast path condition was not met. With a majority of

@@ -115,7 +115,7 @@ func (s *roKeyState) settled() bool {
 // snap to every replica (a uniformly chosen core on each).
 func (c *Coordinator) sendSnapshotRead(p int, keys []string, snap timestamp.Timestamp, seq uint64) {
 	core := uint32(c.rng.Intn(c.cfg.Topo.Cores))
-	req := message.Message{Type: message.TypeMultiRead, Keys: keys, TS: snap, Seq: seq}
+	req := message.Message{Type: message.TypeMultiRead, Keys: keys, TS: snap, Seq: seq, MapVersion: c.mapVersion()}
 	c.roOuts = broadcast(c.commitEps[p], c.group(p, core), &req, c.roOuts)
 }
 
@@ -153,7 +153,7 @@ func (c *Coordinator) snapshotReadCtx(ctx context.Context, keys []string, snap t
 	}
 	kp, origIdx := c.keyParts[:len(keys)], c.origIdx[:len(keys)]
 	for i, k := range keys {
-		p := c.cfg.Topo.PartitionForKey(k)
+		p := c.partitionFor(k)
 		kp[i] = p
 		cursor[p]++
 	}
@@ -239,7 +239,19 @@ func (c *Coordinator) snapshotReadCtx(ctx context.Context, keys []string, snap t
 						break collect
 					}
 				}
-				if m.Type != message.TypeMultiReadReply || m.Seq != pseq || len(m.Reads) != want {
+				if m.Type != message.TypeMultiReadReply || m.Seq != pseq {
+					continue
+				}
+				if m.WrongShard {
+					// The replica no longer owns some requested key and, by
+					// design, refused before touching its store — a sealed
+					// copy must never raise read timestamps for a snapshot it
+					// cannot vouch for. Refresh and re-route.
+					c.obs.Inc(obs.TxnWrongShard)
+					c.noteRedirect()
+					return nil, minW, ErrWrongShard
+				}
+				if len(m.Reads) != want {
 					continue
 				}
 				if m.ReplicaID >= 64 || seen&(1<<m.ReplicaID) != 0 {
@@ -379,10 +391,13 @@ func (c *Coordinator) SnapshotReadCtx(ctx context.Context, key string) ([]byte, 
 			c.obs.Inc(obs.TxnCommitRO)
 			return res[0].Value, res[0].WTS, res[0].OK, nil
 		}
-		if !errors.Is(err, errROUnconfirmed) {
+		if errors.Is(err, errROUnconfirmed) {
+			c.obs.Inc(obs.ROFallback)
+		} else if !errors.Is(err, ErrWrongShard) {
 			return nil, timestamp.Timestamp{}, false, err
 		}
-		c.obs.Inc(obs.ROFallback)
+		// A wrong-shard redirect falls through too: the classic path's Run
+		// loop re-routes with the refreshed map and retries.
 	}
 	// Classic path: a validated read-only transaction (read round plus
 	// validation round), retried until it commits.

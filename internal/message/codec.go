@@ -295,6 +295,8 @@ func Encode(buf []byte, m *Message) []byte {
 		e.u8(uint8(r.Op))
 	}
 	e.ts(m.Watermark)
+	e.u64(m.MapVersion)
+	e.bool(m.WrongShard)
 	return e.buf
 }
 
@@ -397,6 +399,8 @@ func DecodeInto(m *Message, buf []byte) error {
 		r.Op = OpKind(d.u8())
 	}
 	m.Watermark = d.ts()
+	m.MapVersion = d.u64()
+	m.WrongShard = d.bool()
 	if d.err != nil {
 		return d.err
 	}

@@ -303,6 +303,16 @@ type Message struct {
 	// snapshot read at TS=s, Watermark == s means the reply is *confirmed* —
 	// every answered version is final with respect to this replica.
 	Watermark timestamp.Timestamp
+
+	// Shard routing (encoded last; the offsets of every earlier field are
+	// unchanged). MapVersion on a request is the shard-map version the client
+	// routed with; on a redirect reply it is the replica's own view version,
+	// so the client knows whether a refresh can help yet. WrongShard set on a
+	// reply means the replica no longer owns (one of) the requested keys
+	// under its current shard map: the request was not executed and the
+	// client must refresh its map and re-route.
+	MapVersion uint64
+	WrongShard bool
 }
 
 // String gives a short human-readable rendering for logs and test failures.

@@ -100,6 +100,15 @@ const (
 	EpochMergedTxn   // transaction records in installed merged trecords
 	EpochRevalidated // rule-4 candidates re-validated during a merge
 
+	// Shard-routing counters. WrongShardRedirect counts replica-side
+	// requests refused with a redirect (the group no longer owns the key);
+	// TxnWrongShard counts client-side transaction attempts that hit a
+	// redirect; MapRefresh counts shard-map cache refreshes that advanced
+	// the cached version.
+	WrongShardRedirect
+	TxnWrongShard
+	MapRefresh
+
 	// NumCounters sizes shard arrays; keep it last.
 	NumCounters
 )
@@ -138,6 +147,9 @@ var counterNames = [NumCounters]string{
 	EpochChangeRun:      "recovery_epoch_change_run",
 	EpochMergedTxn:      "recovery_epoch_merged_txn",
 	EpochRevalidated:    "recovery_epoch_revalidated",
+	WrongShardRedirect:  "replica_wrong_shard_redirect",
+	TxnWrongShard:       "txn_wrong_shard",
+	MapRefresh:          "map_refresh",
 }
 
 // Name returns the counter's export name.

@@ -26,6 +26,7 @@ import (
 	"meerkat/internal/message"
 	"meerkat/internal/obs"
 	"meerkat/internal/occ"
+	"meerkat/internal/shardmap"
 	"meerkat/internal/timestamp"
 	"meerkat/internal/topo"
 	"meerkat/internal/transport"
@@ -85,6 +86,16 @@ type Config struct {
 	// draws its own shard from the registry, so recording follows the same
 	// per-core ownership discipline as the trecord itself.
 	Obs *obs.Registry
+
+	// Ownership, when non-nil, is this replica group's shard-ownership view
+	// (shared by all the group's replicas and surviving crash recovery).
+	// Requests touching a key the view says this group no longer owns are
+	// answered with a WrongShard redirect instead of being executed, which
+	// is what makes a shard split's seal effective: after the new view is
+	// installed, no new transaction can validate against the moved range
+	// here. Nil means the group owns every key (unsharded deployment) and
+	// costs a single nil check on the hot path.
+	Ownership *shardmap.Ownership
 
 	// Recovering marks a replica rejoining after a crash: its store was
 	// rebuilt from a donor copy (plus any local WAL replay), but it is blind
@@ -401,9 +412,65 @@ func (c *core) handleStateRequest(m *message.Message) {
 	})
 }
 
+// ownView returns this group's shard-ownership view, or nil when the group
+// owns every key (unsharded deployment — one nil check on the hot path).
+func (c *core) ownView() *shardmap.View {
+	if c.r.cfg.Ownership == nil {
+		return nil
+	}
+	return c.r.cfg.Ownership.Load()
+}
+
+// ownsKeys reports whether view v (nil = owns everything) covers every key
+// of keys.
+func ownsKeys(v *shardmap.View, keys []string) bool {
+	if v == nil {
+		return true
+	}
+	for _, k := range keys {
+		if !v.Owns(shardmap.Hash(k)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ownsTxn reports whether view v covers every key the transaction touches.
+func ownsTxn(v *shardmap.View, t *message.Txn) bool {
+	if v == nil {
+		return true
+	}
+	for i := range t.ReadSet {
+		if !v.Owns(shardmap.Hash(t.ReadSet[i].Key)) {
+			return false
+		}
+	}
+	for i := range t.WriteSet {
+		if !v.Owns(shardmap.Hash(t.WriteSet[i].Key)) {
+			return false
+		}
+	}
+	for i := range t.OpSet {
+		if !v.Owns(shardmap.Hash(t.OpSet[i].Key)) {
+			return false
+		}
+	}
+	return true
+}
+
 // handleRead serves an execution-phase read from the versioned store. Reads
 // never touch the trecord, so any core of any replica can serve them.
 func (c *core) handleRead(m *message.Message) {
+	if v := c.ownView(); v != nil && !v.Owns(shardmap.Hash(m.Key)) {
+		c.obs.Inc(obs.WrongShardRedirect)
+		c.send(m.Src, &message.Message{
+			Type: message.TypeReadReply,
+			Key:  m.Key, Seq: m.Seq,
+			WrongShard: true, MapVersion: v.Version(),
+			ReplicaID: uint32(c.r.cfg.Index),
+		})
+		return
+	}
 	v, ok := c.r.store.Read(m.Key)
 	c.send(m.Src, &message.Message{
 		Type: message.TypeReadReply,
@@ -423,6 +490,10 @@ func (c *core) handleMultiRead(m *message.Message) {
 		c.handleSnapshotRead(m)
 		return
 	}
+	if v := c.ownView(); !ownsKeys(v, m.Keys) {
+		c.redirectMultiRead(m, v)
+		return
+	}
 	reads := make([]message.ReadResult, len(m.Keys))
 	for i, k := range m.Keys {
 		v, ok := c.r.store.Read(k)
@@ -438,6 +509,18 @@ func (c *core) handleMultiRead(m *message.Message) {
 	})
 }
 
+// redirectMultiRead answers a (multi-)read whose key set is no longer fully
+// owned here with a WrongShard redirect. No store state is touched.
+func (c *core) redirectMultiRead(m *message.Message, v *shardmap.View) {
+	c.obs.Inc(obs.WrongShardRedirect)
+	c.send(m.Src, &message.Message{
+		Type: message.TypeMultiReadReply,
+		Seq:  m.Seq,
+		WrongShard: true, MapVersion: v.Version(),
+		ReplicaID: uint32(c.r.cfg.Index),
+	})
+}
+
 // handleSnapshotRead serves a multi-read pinned at snapshot timestamp m.TS
 // for the read-only fast path. Every key is answered at that timestamp
 // (newest version at or below it), and — inside the same per-key critical
@@ -448,6 +531,13 @@ func (c *core) handleMultiRead(m *message.Message) {
 // the snapshot on any requested key, i.e. when every answered version is
 // final with respect to this replica.
 func (c *core) handleSnapshotRead(m *message.Message) {
+	// Ownership is checked before any store access: an unowned snapshot read
+	// must not raise read timestamps here — the moved range's rts now lives
+	// with the new owner, and raising it on a sealed copy would be dead state.
+	if v := c.ownView(); !ownsKeys(v, m.Keys) {
+		c.redirectMultiRead(m, v)
+		return
+	}
 	reads := make([]message.ReadResult, len(m.Keys))
 	wmin := m.TS
 	for i, k := range m.Keys {
@@ -486,11 +576,29 @@ func (c *core) handleValidate(m *message.Message) {
 	}
 	p := c.lockRecords()
 	var reply *message.Message
-	rec, created := p.GetOrCreate(m.Txn.ID)
-	if !created && rec.Status != message.StatusNone {
-		// Duplicate (a retry): re-reply with the recorded status.
+	rec := p.Get(m.Txn.ID)
+	if rec != nil && rec.Status != message.StatusNone {
+		// Duplicate (a retry): re-reply with the recorded status. This takes
+		// precedence over the ownership check — a record finalized before (or
+		// by) a shard split's fence is historical truth, and a retry must
+		// learn that outcome, not a redirect.
 		reply = c.validateReply(m.Txn.ID, rec.Status, rec.View)
+	} else if v := c.ownView(); !ownsTxn(v, &m.Txn) {
+		// New validation touching a key this group no longer owns: refuse
+		// without creating a record — post-seal, nothing new may prepare
+		// against the moved range here. The client refreshes its map and
+		// re-routes.
+		c.obs.Inc(obs.WrongShardRedirect)
+		reply = &message.Message{
+			Type: message.TypeValidateReply,
+			TID:  m.Txn.ID,
+			WrongShard: true, MapVersion: v.Version(),
+			ReplicaID: uint32(c.r.cfg.Index),
+		}
 	} else {
+		if rec == nil {
+			rec, _ = p.GetOrCreate(m.Txn.ID)
+		}
 		rec.Txn = m.Txn
 		rec.TS = m.TS
 		rec.CreatedAt = nanotime()

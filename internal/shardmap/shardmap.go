@@ -1,0 +1,387 @@
+// Package shardmap implements the cluster's versioned, hash-range shard map.
+//
+// A sharded deployment is N independent Meerkat replica groups; the map
+// assigns every key — via a 32-bit FNV-1a hash — to the group owning the
+// range its hash falls in. The map is immutable: resharding produces a new
+// map with a higher version, and every layer of the system compares versions
+// instead of contents.
+//
+//   - Clients hold a Cache and route each key locally (an atomic load, a
+//     hash, and a branch-free binary search — zero allocations, zero
+//     coordination on the hot path).
+//   - Replicas hold an Ownership view and reject operations on keys they no
+//     longer own with a WrongShard redirect carrying their map version.
+//   - The cluster holds the single Source of truth; a shard split publishes
+//     the successor map there after fencing the moved range with an epoch
+//     change.
+//
+// Consistency rule: a replica group's view is installed *before* the new map
+// becomes visible to any client (seal first, publish last), so at every
+// instant the groups' views are at least as new as any client's cache — a
+// stale client is always redirected, never silently served.
+package shardmap
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+)
+
+// HashBits is the width of the routing hash space: keys map to [0, 2^32).
+const HashBits = 32
+
+// Hash routes a key into the 32-bit shard space (FNV-1a).
+func Hash(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+// Range is one contiguous slice of the hash space and the group owning it.
+// A range covers [Start, next range's Start), the last wrapping to 2^32.
+type Range struct {
+	Start uint32 `json:"start"`
+	Group int    `json:"group"`
+}
+
+// Map is an immutable, versioned assignment of the whole 32-bit hash space
+// to replica groups. Construct with New, evolve with Split; never mutate.
+type Map struct {
+	version uint64
+	starts  []uint32 // ascending, starts[0] == 0
+	groups  []int    // groups[i] owns [starts[i], starts[i+1])
+}
+
+// New returns version-1 map dividing the hash space evenly across groups
+// 0..groups-1. groups must be ≥ 1.
+func New(groups int) *Map {
+	if groups < 1 {
+		panic("shardmap: New needs at least one group")
+	}
+	m := &Map{
+		version: 1,
+		starts:  make([]uint32, groups),
+		groups:  make([]int, groups),
+	}
+	width := uint64(1<<HashBits) / uint64(groups)
+	for i := 0; i < groups; i++ {
+		m.starts[i] = uint32(uint64(i) * width)
+		m.groups[i] = i
+	}
+	return m
+}
+
+// Version returns the map's version. Versions start at 1 and increase by one
+// per split; a higher version always supersedes a lower one.
+func (m *Map) Version() uint64 { return m.version }
+
+// NumRanges returns how many contiguous ranges the map holds.
+func (m *Map) NumRanges() int { return len(m.starts) }
+
+// Ranges returns a copy of the map's ranges in hash order (introspection).
+func (m *Map) Ranges() []Range {
+	out := make([]Range, len(m.starts))
+	for i := range m.starts {
+		out[i] = Range{Start: m.starts[i], Group: m.groups[i]}
+	}
+	return out
+}
+
+// Groups returns the distinct groups owning at least one range, ascending.
+func (m *Map) Groups() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, g := range m.groups {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GroupForHash returns the group owning hash h. Zero allocations: a manual
+// binary search over the range starts (the hot routing path).
+func (m *Map) GroupForHash(h uint32) int {
+	// Find the last range whose start is <= h.
+	lo, hi := 0, len(m.starts) // invariant: starts[lo-1] <= h < starts[hi]
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.starts[mid] <= h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return m.groups[lo-1]
+}
+
+// GroupForKey routes key to its owning group.
+func (m *Map) GroupForKey(key string) int { return m.GroupForHash(Hash(key)) }
+
+// Owns reports whether group owns hash h under this map.
+func (m *Map) Owns(group int, h uint32) bool { return m.GroupForHash(h) == group }
+
+// Split returns the successor map in which the upper half of src's widest
+// range is reassigned to dst, plus the moved range's bounds [lo, hi) (hi==0
+// means the range runs to the top of the hash space). The version increases
+// by one. It fails if src owns no range or the widest range is too narrow to
+// halve.
+func (m *Map) Split(src, dst int) (next *Map, lo, hi uint32, err error) {
+	// Locate src's widest range.
+	best, bestWidth := -1, uint64(0)
+	for i := range m.starts {
+		if m.groups[i] != src {
+			continue
+		}
+		w := m.width(i)
+		if w > bestWidth {
+			best, bestWidth = i, w
+		}
+	}
+	if best < 0 {
+		return nil, 0, 0, fmt.Errorf("shardmap: group %d owns no range", src)
+	}
+	if bestWidth < 2 {
+		return nil, 0, 0, fmt.Errorf("shardmap: group %d's widest range cannot be halved", src)
+	}
+	mid := m.starts[best] + uint32(bestWidth/2)
+	next = &Map{
+		version: m.version + 1,
+		starts:  make([]uint32, 0, len(m.starts)+1),
+		groups:  make([]int, 0, len(m.groups)+1),
+	}
+	for i := range m.starts {
+		next.starts = append(next.starts, m.starts[i])
+		next.groups = append(next.groups, m.groups[i])
+		if i == best {
+			next.starts = append(next.starts, mid)
+			next.groups = append(next.groups, dst)
+		}
+	}
+	lo = mid
+	if best+1 < len(m.starts) {
+		hi = m.starts[best+1]
+	} else {
+		hi = 0 // wraps: range runs to the top of the hash space
+	}
+	return next, lo, hi, nil
+}
+
+// width is the size of range i in hash units.
+func (m *Map) width(i int) uint64 {
+	if i+1 < len(m.starts) {
+		return uint64(m.starts[i+1]) - uint64(m.starts[i])
+	}
+	return uint64(1<<HashBits) - uint64(m.starts[i])
+}
+
+// InRange reports whether h falls in [lo, hi), where hi == 0 means the range
+// runs to the top of the hash space.
+func InRange(h, lo, hi uint32) bool {
+	if hi == 0 {
+		return h >= lo
+	}
+	return h >= lo && h < hi
+}
+
+// mapJSON is the persistence schema for a Map.
+type mapJSON struct {
+	Version uint64  `json:"version"`
+	Ranges  []Range `json:"ranges"`
+}
+
+// MarshalJSON encodes the map for persistence/introspection.
+func (m *Map) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mapJSON{Version: m.version, Ranges: m.Ranges()})
+}
+
+// UnmarshalJSON decodes a persisted map, validating its shape.
+func (m *Map) UnmarshalJSON(b []byte) error {
+	var j mapJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	if j.Version == 0 || len(j.Ranges) == 0 || j.Ranges[0].Start != 0 {
+		return fmt.Errorf("shardmap: malformed persisted map (version %d, %d ranges)", j.Version, len(j.Ranges))
+	}
+	starts := make([]uint32, len(j.Ranges))
+	groups := make([]int, len(j.Ranges))
+	for i, r := range j.Ranges {
+		if i > 0 && r.Start <= starts[i-1] {
+			return fmt.Errorf("shardmap: persisted ranges out of order at %d", i)
+		}
+		if r.Group < 0 {
+			return fmt.Errorf("shardmap: negative group at range %d", i)
+		}
+		starts[i] = r.Start
+		groups[i] = r.Group
+	}
+	m.version = j.Version
+	m.starts = starts
+	m.groups = groups
+	return nil
+}
+
+// Save atomically persists the map to path (temp file + rename), so a crash
+// mid-write leaves either the old map or the new one, never a torn file.
+func (m *Map) Save(path string) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Fsync the directory so the rename itself survives a crash.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile reads a map persisted with Save. A missing file returns
+// (nil, nil) so callers can fall back to a fresh map.
+func LoadFile(path string) (*Map, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := &Map{}
+	if err := json.Unmarshal(b, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// View is one replica group's knowledge of its own ownership: the map it
+// believes current plus its group id. Replicas consult it on every request
+// touching a key; Owns is as cheap as client routing.
+type View struct {
+	Map   *Map
+	Group int
+}
+
+// Owns reports whether this group owns hash h under its view of the map.
+func (v *View) Owns(h uint32) bool { return v.Map.GroupForHash(h) == v.Group }
+
+// Version returns the view's map version.
+func (v *View) Version() uint64 { return v.Map.version }
+
+// Ownership is the atomically-swappable View handle installed on every
+// replica of a group. One Ownership is shared by all the group's replicas
+// (and survives replica crash/recovery), so sealing a range is a single
+// atomic store. The zero value is not usable; create with NewOwnership.
+type Ownership struct {
+	v atomic.Pointer[View]
+}
+
+// NewOwnership returns an Ownership holding the given initial view.
+func NewOwnership(m *Map, group int) *Ownership {
+	o := &Ownership{}
+	o.v.Store(&View{Map: m, Group: group})
+	return o
+}
+
+// Load returns the current view (never nil).
+func (o *Ownership) Load() *View { return o.v.Load() }
+
+// Install atomically replaces the view with map m (same group). Installing
+// an older map than the current one is a no-op, so racing installers cannot
+// roll ownership back.
+func (o *Ownership) Install(m *Map) {
+	for {
+		cur := o.v.Load()
+		if m.version <= cur.Map.version {
+			return
+		}
+		if o.v.CompareAndSwap(cur, &View{Map: m, Group: cur.Group}) {
+			return
+		}
+	}
+}
+
+// Source is the cluster's single authoritative map handle. Splits publish
+// the successor map here after the fence completes; client caches refresh
+// from it.
+type Source struct {
+	m atomic.Pointer[Map]
+}
+
+// NewSource returns a Source holding m.
+func NewSource(m *Map) *Source {
+	s := &Source{}
+	s.m.Store(m)
+	return s
+}
+
+// Current returns the authoritative map (never nil).
+func (s *Source) Current() *Map { return s.m.Load() }
+
+// Publish installs m as the authoritative map. Older versions are ignored.
+func (s *Source) Publish(m *Map) {
+	for {
+		cur := s.m.Load()
+		if m.version <= cur.version {
+			return
+		}
+		if s.m.CompareAndSwap(cur, m) {
+			return
+		}
+	}
+}
+
+// Cache is one client's routing cache: the last map it fetched from the
+// Source. Reads are an atomic load (hot path); Refresh re-fetches after a
+// redirect. A Cache may be shared by the workers of a pipelined session.
+type Cache struct {
+	src *Source
+	cur atomic.Pointer[Map]
+}
+
+// NewCache returns a cache primed with the source's current map.
+func NewCache(src *Source) *Cache {
+	c := &Cache{src: src}
+	c.cur.Store(src.Current())
+	return c
+}
+
+// Current returns the cached map (never nil). Zero allocations.
+func (c *Cache) Current() *Map { return c.cur.Load() }
+
+// Refresh re-fetches the authoritative map and returns it. It reports
+// whether the refresh advanced the cached version — callers use that to
+// decide between an immediate retry (the redirect was explained by a stale
+// cache) and a backoff (the map hasn't changed yet; the split is mid-fence).
+func (c *Cache) Refresh() (m *Map, advanced bool) {
+	m = c.src.Current()
+	for {
+		cur := c.cur.Load()
+		if m.version <= cur.version {
+			return cur, false
+		}
+		if c.cur.CompareAndSwap(cur, m) {
+			return m, true
+		}
+	}
+}

@@ -33,6 +33,19 @@ type InprocConfig struct {
 	// under load the handler loop runs without re-entering the scheduler
 	// between messages. Defaults to 32; 1 disables batching.
 	Batch int
+	// ServiceTime, when positive, makes each delivery goroutine sleep
+	// messages*ServiceTime after handling every drained burst — a fixed
+	// per-message service-capacity model (one endpoint sustains at most
+	// 1/ServiceTime messages per second). Benchmarks on machines with fewer
+	// CPUs than simulated server cores use it to measure capacity scaling
+	// (adding shards adds serving endpoints) instead of raw CPU contention.
+	// Zero disables the model entirely.
+	ServiceTime time.Duration
+	// ServiceNodeLimit restricts ServiceTime to endpoints whose node id is
+	// below it — pass the topology's client node base so only replica
+	// endpoints are throttled, never client reply inboxes. Zero applies the
+	// model to every endpoint.
+	ServiceNodeLimit uint32
 }
 
 // InprocStats counts network activity. Read with the atomic Load methods.
@@ -242,20 +255,31 @@ type inprocEndpoint struct {
 // analogue of NIC-ring burst polling.
 func (ep *inprocEndpoint) run() {
 	batch := ep.net.cfg.Batch
+	service := ep.net.cfg.ServiceTime
+	if limit := ep.net.cfg.ServiceNodeLimit; service > 0 && limit > 0 && ep.addr.Node >= limit {
+		service = 0
+	}
 	for {
 		select {
 		case <-ep.quit:
 			return
 		case m := <-ep.ch:
 			ep.h(m)
+			handled := 1
 		drain:
 			for i := 1; i < batch; i++ {
 				select {
 				case m := <-ep.ch:
 					ep.h(m)
+					handled++
 				default:
 					break drain
 				}
+			}
+			if service > 0 {
+				// Capacity model: this endpoint spent handled*service of
+				// simulated server time on the burst (see ServiceTime).
+				time.Sleep(time.Duration(handled) * service)
 			}
 		}
 	}

@@ -738,6 +738,12 @@ func (s *Store) ExportShardSince(i int, since timestamp.Timestamp, sinceWall int
 			if since.Less(lv.WTS) || since.Less(e.rts) || (sinceWall > 0 && e.appliedAt >= sinceWall) {
 				out = append(out, KeyState{Key: k.(string), Value: lv.Value, WTS: lv.WTS, RTS: e.rts})
 			}
+		} else if !e.rts.IsZero() && (since.Less(e.rts) || (sinceWall > 0 && e.appliedAt >= sinceWall)) {
+			// A key that was read (rts raised) but never written has state
+			// worth transferring too: dropping the rts would let the importer
+			// later validate a write below it, un-serializing the read. Export
+			// it with a zero WTS; ImportState installs only the rts.
+			out = append(out, KeyState{Key: k.(string), RTS: e.rts})
 		}
 		e.mu.Unlock()
 		return true
@@ -751,6 +757,15 @@ func (s *Store) ExportShardSince(i int, since timestamp.Timestamp, sinceWall int
 func (s *Store) ImportState(states []KeyState) {
 	for i := range states {
 		st := &states[i]
+		if st.WTS.IsZero() {
+			// rts-only export (read but never written): installing a version
+			// at timestamp zero would fabricate a committed nil write, so
+			// only the read timestamp transfers.
+			if !st.RTS.IsZero() {
+				s.CommitRead(st.Key, st.RTS)
+			}
+			continue
+		}
 		e := s.getOrCreate(st.Key)
 		e.mu.Lock()
 		e.installLocked(st.Value, st.WTS, s.maxVersions)

@@ -42,6 +42,7 @@ import (
 	"meerkat/internal/obs"
 	"meerkat/internal/recovery"
 	"meerkat/internal/replica"
+	"meerkat/internal/shardmap"
 	"meerkat/internal/timestamp"
 	"meerkat/internal/topo"
 	"meerkat/internal/transport"
@@ -149,6 +150,23 @@ type Config struct {
 	// (distributed transactions, §5.2.4). Default 1.
 	Partitions int
 
+	// Shards and MaxShards configure the sharded deployment built by Open:
+	// Shards replica groups initially own the hash-range shard map, and
+	// MaxShards groups are provisioned in total, the headroom Admin.Split
+	// grows into by moving half a shard's range onto an idle group.
+	// Defaults: Shards 1, MaxShards = Shards. NewCluster ignores both (a
+	// cluster built directly has no shard map); Open derives Partitions
+	// from MaxShards and rejects a conflicting explicit Partitions.
+	Shards    int
+	MaxShards int
+
+	// shardOwn, set only by Open, is the per-group ownership view shared
+	// between a group's replicas: each replica checks incoming keys against
+	// its group's current view and redirects what it does not own. The
+	// array outlives any individual replica, so crash-recovered replicas
+	// rejoin with the group's current (possibly post-split) view.
+	shardOwn []*shardmap.Ownership
+
 	// Transport selects the fabric. Default TransportInproc.
 	Transport TransportKind
 	// UDPHost/UDPBasePort place TransportUDP sockets. Defaults:
@@ -175,6 +193,13 @@ type Config struct {
 	// Delay adds constant per-message latency, for fault-tolerance tests.
 	DropProb float64
 	Delay    time.Duration
+
+	// InprocServiceTime, when positive, caps every replica endpoint of the
+	// inproc transport at one message per this much time (client endpoints
+	// are exempt) — a service-capacity model for benchmarks run on machines
+	// with fewer CPUs than simulated server cores, where shard scaling
+	// would otherwise be invisible. Leave zero outside such benchmarks.
+	InprocServiceTime time.Duration
 
 	// SharedTRecord replaces Meerkat's per-core transaction records with
 	// one mutex-protected record per replica — the TAPIR-like baseline of
@@ -253,11 +278,12 @@ type Config struct {
 // probabilities, and malformed fault plans. NewCluster calls it, so explicit
 // calls are needed only to validate a config without starting a cluster.
 func (c *Config) Validate() error {
-	if c.Replicas < 0 || c.Cores < 0 || c.Partitions < 0 || c.Retries < 0 {
+	if c.Replicas < 0 || c.Cores < 0 || c.Partitions < 0 || c.Retries < 0 ||
+		c.Shards < 0 || c.MaxShards < 0 {
 		return fmt.Errorf("meerkat: negative size in config %+v", *c)
 	}
 	if c.CommitTimeout < 0 || c.BackoffBase < 0 || c.BackoffMax < 0 ||
-		c.SweepInterval < 0 || c.StaleAfter < 0 || c.Delay < 0 {
+		c.SweepInterval < 0 || c.StaleAfter < 0 || c.Delay < 0 || c.InprocServiceTime < 0 {
 		return errors.New("meerkat: negative duration in config")
 	}
 	if c.DropProb < 0 || c.DropProb > 1 {
@@ -435,9 +461,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			delay = func() time.Duration { return d }
 		}
 		c.inet = transport.NewInproc(transport.InprocConfig{
-			DropProb: cfg.DropProb,
-			Delay:    delay,
-			Seed:     cfg.Seed,
+			DropProb:         cfg.DropProb,
+			Delay:            delay,
+			Seed:             cfg.Seed,
+			ServiceTime:      cfg.InprocServiceTime,
+			ServiceNodeLimit: topo.ClientNodeBase,
 		})
 		c.net = c.inet
 	case TransportUDP:
@@ -552,6 +580,10 @@ func maxInt(a, b int) int {
 }
 
 func (c *Cluster) newReplica(p, r int, store *vstore.Store, w *wal.Store, recovering bool) (*replica.Replica, error) {
+	var own *shardmap.Ownership
+	if c.cfg.shardOwn != nil {
+		own = c.cfg.shardOwn[p]
+	}
 	rep, err := replica.New(replica.Config{
 		Topo:                 c.topo,
 		Partition:            p,
@@ -559,6 +591,7 @@ func (c *Cluster) newReplica(p, r int, store *vstore.Store, w *wal.Store, recove
 		Net:                  c.net,
 		Store:                store,
 		WAL:                  w,
+		Ownership:            own,
 		SharedRecord:         c.cfg.SharedTRecord,
 		SweepInterval:        c.cfg.SweepInterval,
 		StaleAfter:           c.cfg.StaleAfter,
@@ -580,10 +613,15 @@ func (c *Cluster) newReplica(p, r int, store *vstore.Store, w *wal.Store, recove
 // durability enabled the load is logged, so preloaded data survives
 // restarts like committed writes do.
 func (c *Cluster) Load(key string, value []byte) {
+	c.loadPartition(c.topo.PartitionForKey(key), key, value)
+}
+
+// loadPartition is Load with the owning partition already decided — the
+// sharded DB routes by shard map, the legacy path by static key hash.
+func (c *Cluster) loadPartition(p int, key string, value []byte) {
 	ts := timestamp.Timestamp{Time: 1, ClientID: 0}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p := c.topo.PartitionForKey(key)
 	for _, rep := range c.replicas[p] {
 		if rep != nil {
 			rep.Load(key, value, ts)

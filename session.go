@@ -2,6 +2,7 @@ package meerkat
 
 import (
 	"meerkat/internal/coordinator"
+	"meerkat/internal/shardmap"
 )
 
 // Session pipelines multiple in-flight transactions over one set of client
@@ -23,7 +24,18 @@ type Session struct {
 // NewSession registers a pipelined client session of the given window width
 // (clamped up to 1; see coordinator.MaxWindow for the ceiling). The session
 // counts as one client id against the UDP port budget regardless of window.
+//
+// Deprecated for sharded deployments: a session created this way routes by
+// static key hash and cannot follow shard splits. Open the cluster with
+// meerkat.Open and use DB.Session instead.
 func (c *Cluster) NewSession(window int) (*Session, error) {
+	return c.newSession(window, nil, false)
+}
+
+// newSession is NewSession with the sharded-routing knobs: sm, when non-nil,
+// is one shard-map cache shared by all workers (its refresh is atomic, and
+// one worker's redirect re-routes the whole pipeline).
+func (c *Cluster) newSession(window int, sm *shardmap.Cache, roDefault bool) (*Session, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -43,6 +55,7 @@ func (c *Cluster) NewSession(window int) (*Session, error) {
 		BackoffBase:     c.cfg.BackoffBase,
 		BackoffMax:      c.cfg.BackoffMax,
 		DisableFastPath: c.cfg.DisableFastPath,
+		ShardMap:        sm,
 		Seed:            c.cfg.Seed + int64(id),
 		Obs:             c.obs.NewShard(),
 	}, window)
@@ -51,7 +64,7 @@ func (c *Cluster) NewSession(window int) (*Session, error) {
 	}
 	s := &Session{inner: inner}
 	for i := 0; i < inner.Window(); i++ {
-		s.clients = append(s.clients, &Client{coord: inner.Worker(i), id: id})
+		s.clients = append(s.clients, &Client{coord: inner.Worker(i), id: id, roDefault: roDefault})
 	}
 	return s, nil
 }
